@@ -1,0 +1,1 @@
+bench/ablate.ml: Grid Guest Harrier Hth List Printf Secpert String

@@ -1,0 +1,1 @@
+bench/grid.ml: List Printf String

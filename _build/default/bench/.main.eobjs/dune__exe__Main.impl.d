@@ -1,0 +1,1 @@
+bench/main.ml: Ablate Array List Metrics Perf Printf Secure Sys Tables

@@ -1,0 +1,1 @@
+bench/metrics.ml: Grid Guest Hth List Printf

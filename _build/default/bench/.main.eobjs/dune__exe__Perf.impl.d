@@ -1,0 +1,1 @@
+bench/perf.ml: Analyze Bechamel Benchmark Grid Guest Harrier Hashtbl Hth Instance List Measure Printf Secpert Staged Taint Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/secure.ml: Binary Grid Guest Hashtbl Hth List Option String

@@ -1,0 +1,1 @@
+bench/tables.ml: Array Asm Binary Grid Guest Harrier Hth Isa List Printf Secpert String Taint

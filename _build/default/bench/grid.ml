@@ -1,0 +1,39 @@
+(* Plain-text table rendering for the bench reports. *)
+
+let render ~headers rows =
+  let all = headers :: rows in
+  let cols = List.length headers in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let line ch =
+    "+"
+    ^ String.concat "+"
+        (List.map (fun w -> String.make (w + 2) ch) widths)
+    ^ "+"
+  in
+  let render_row row =
+    "|"
+    ^ String.concat "|"
+        (List.mapi
+           (fun c w ->
+             let cell =
+               match List.nth_opt row c with Some s -> s | None -> ""
+             in
+             " " ^ cell ^ String.make (w - String.length cell + 1) ' ')
+           widths)
+    ^ "|"
+  in
+  String.concat "\n"
+    ([ line '-'; render_row headers; line '=' ]
+     @ List.map render_row rows
+     @ [ line '-' ])
+
+let print ~title ~headers rows =
+  Printf.printf "\n== %s ==\n%s\n" title (render ~headers rows)

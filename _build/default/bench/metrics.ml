@@ -1,0 +1,46 @@
+(* Detection metrics across the whole corpus: the aggregate view of the
+   paper's accuracy story (Sections 8.2/8.3): detection rate on
+   malicious scenarios, false-positive rate on benign ones, and severity
+   agreement. *)
+
+let run () =
+  let results =
+    List.map
+      (fun (sc : Guest.Scenario.t) ->
+        sc, Hth.Report.verdict (Guest.Scenario.run sc))
+      Guest.Corpus.all
+  in
+  let is_malicious (sc : Guest.Scenario.t) =
+    match sc.sc_expected with
+    | Guest.Scenario.Benign -> false
+    | Guest.Scenario.Malicious _ -> true
+  in
+  let detected = function
+    | Hth.Report.Benign -> false
+    | Hth.Report.Suspicious _ -> true
+  in
+  let count p = List.length (List.filter p results) in
+  let tp = count (fun (sc, v) -> is_malicious sc && detected v) in
+  let fn = count (fun (sc, v) -> is_malicious sc && not (detected v)) in
+  let fp = count (fun (sc, v) -> (not (is_malicious sc)) && detected v) in
+  let tn = count (fun (sc, v) -> (not (is_malicious sc)) && not (detected v))
+  in
+  let exact =
+    count (fun (sc, v) -> Guest.Scenario.matches sc.sc_expected v)
+  in
+  let pct a b = if b = 0 then "-" else Printf.sprintf "%.0f%%" (100. *. float a /. float b) in
+  Grid.print ~title:"Corpus detection metrics"
+    ~headers:[ "Metric"; "Value" ]
+    [ [ "scenarios"; string_of_int (List.length results) ];
+      [ "malicious detected (TP)"; Printf.sprintf "%d / %d (%s)" tp (tp + fn) (pct tp (tp + fn)) ];
+      [ "malicious missed (FN)"; string_of_int fn ];
+      [ "benign clean (TN)"; Printf.sprintf "%d / %d (%s)" tn (tn + fp) (pct tn (tn + fp)) ];
+      [ "benign flagged (FP)"; string_of_int fp ];
+      [ "exact severity agreement"; Printf.sprintf "%d / %d (%s)" exact (List.length results) (pct exact (List.length results)) ] ];
+  (* expected FPs per the paper: xeyes/make/g++ warn Low on trusted
+     behaviour; in this corpus those are *expected* Malicious Low, so FP
+     here counts only unexpected flags *)
+  if fp > 0 || fn > 0 then
+    Printf.printf
+      "note: nonzero FP/FN indicates disagreement with the scenario \
+       expectations — see the classification tables.\n"

@@ -1,0 +1,160 @@
+(* Section 9: performance evaluation.
+
+   The paper's finding is that Harrier's naive data-flow tracking
+   dominates the cost; we reproduce the shape by running the same guest
+   workload under increasing levels of monitoring and reporting the
+   slowdown relative to the unmonitored simulator.  Component
+   micro-benchmarks (tag-set union, shadow updates, expert-system
+   inference) localize the cost, echoing the paper's discussion. *)
+
+open Bechamel
+open Toolkit
+
+(* The workload: an instruction-dense copy/checksum kernel (~60k
+   instructions), so per-instruction monitoring dominates. *)
+let workload () = Guest.Perf_workload.scenario ~iters:100
+
+let bare_config =
+  { Harrier.Monitor.default_config with track_dataflow = false;
+    track_frequency = false; shortcircuit = [] }
+
+let freq_config =
+  { Harrier.Monitor.default_config with track_dataflow = false;
+    shortcircuit = [] }
+
+let dataflow_config =
+  { Harrier.Monitor.default_config with track_frequency = false }
+
+let session_tests () =
+  let sc = workload () in
+  let run_unmonitored () =
+    ignore (Hth.Session.run_unmonitored sc.sc_setup)
+  in
+  let run_with config () =
+    ignore (Hth.Session.run ~monitor_config:config sc.sc_setup)
+  in
+  Test.make_grouped ~name:"harrier-levels"
+    [ Test.make ~name:"native (no monitor)"
+        (Staged.stage run_unmonitored);
+      Test.make ~name:"+syscall monitor" (Staged.stage (run_with bare_config));
+      Test.make ~name:"+bb frequency" (Staged.stage (run_with freq_config));
+      Test.make ~name:"+dataflow" (Staged.stage (run_with dataflow_config));
+      Test.make ~name:"full HTH"
+        (Staged.stage (run_with Harrier.Monitor.default_config)) ]
+
+(* native vs textual-CLIPS policy throughput on the same event stream *)
+let policy_tests () =
+  let meta = { Harrier.Events.pid = 1; time = 10; freq = 1; addr = 0 } in
+  let transfer =
+    Harrier.Events.Transfer
+      { call = "SYS_write";
+        data = Taint.Tagset.singleton (Taint.Source.File "/a");
+        head = "";
+        sources =
+          [ Taint.Source.File "/a",
+            Taint.Tagset.singleton (Taint.Source.Binary "/mal") ];
+        target =
+          { r_kind = Harrier.Events.R_file; r_name = "/t";
+            r_origin = Taint.Tagset.singleton (Taint.Source.Binary "/mal") };
+        via_server = None; len = 16; meta }
+  in
+  let feed policy () =
+    let s = Secpert.System.create ~policy () in
+    for _ = 1 to 20 do
+      ignore (Secpert.System.handle_event s transfer)
+    done
+  in
+  Test.make_grouped ~name:"policy"
+    [ Test.make ~name:"native rules (20 transfers)"
+        (Staged.stage (feed Secpert.System.Native));
+      Test.make ~name:"textual CLIPS (20 transfers)"
+        (Staged.stage (feed Secpert.System.Clips)) ]
+
+let component_tests () =
+  let tag_a =
+    Taint.Tagset.of_list
+      [ Taint.Source.User_input; Taint.Source.File "/a";
+        Taint.Source.Binary "/bin/x" ]
+  in
+  let tag_b =
+    Taint.Tagset.of_list
+      [ Taint.Source.Socket "peer:1"; Taint.Source.File "/a" ]
+  in
+  let shadow = Harrier.Shadow.create () in
+  let engine_workload () =
+    let secpert = Secpert.System.create () in
+    let meta = { Harrier.Events.pid = 1; time = 10; freq = 1; addr = 0 } in
+    let res : Harrier.Events.resource =
+      { r_kind = Harrier.Events.R_file; r_name = "/bin/ls";
+        r_origin = Taint.Tagset.singleton (Taint.Source.Binary "/bin/x") }
+    in
+    for _ = 1 to 50 do
+      ignore
+        (Secpert.System.handle_event secpert
+           (Harrier.Events.Exec { path = res; argv = []; meta }))
+    done
+  in
+  Test.make_grouped ~name:"components"
+    [ Test.make ~name:"tagset union"
+        (Staged.stage (fun () -> ignore (Taint.Tagset.union tag_a tag_b)));
+      Test.make ~name:"shadow 4-byte store+load"
+        (Staged.stage (fun () ->
+             Harrier.Shadow.set_range shadow 0x8000 4 tag_a;
+             ignore (Harrier.Shadow.range shadow 0x8000 4)));
+      Test.make ~name:"secpert 50 execve events"
+        (Staged.stage engine_workload) ]
+
+let analyze tests =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.8) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      (name, ns) :: acc)
+    results []
+  |> List.sort compare
+
+let human_ns ns =
+  if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let run () =
+  Printf.printf
+    "\n== Section 9: performance (Bechamel, monotonic clock) ==\n%!";
+  let levels = analyze (session_tests ()) in
+  let native =
+    match
+      List.find_opt (fun (n, _) -> n = "harrier-levels/native (no monitor)")
+        levels
+    with
+    | Some (_, ns) -> ns
+    | None -> nan
+  in
+  Grid.print ~title:"Monitoring levels on the copy/checksum workload (~60k instructions)"
+    ~headers:[ "Configuration"; "time/run"; "slowdown vs native" ]
+    (List.map
+       (fun (name, ns) ->
+         [ name; human_ns ns; Printf.sprintf "%.1fx" (ns /. native) ])
+       levels);
+  let components = analyze (component_tests ()) in
+  Grid.print ~title:"Component micro-benchmarks"
+    ~headers:[ "Component"; "time/run" ]
+    (List.map (fun (name, ns) -> [ name; human_ns ns ]) components);
+  let policies = analyze (policy_tests ()) in
+  Grid.print ~title:"Secpert policy engines (same event stream)"
+    ~headers:[ "Policy"; "time/run" ]
+    (List.map (fun (name, ns) -> [ name; human_ns ns ]) policies)

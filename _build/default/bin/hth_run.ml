@@ -1,0 +1,173 @@
+(* hth_run: run any corpus scenario under HTH and report.
+
+     dune exec bin/hth_run.exe -- list
+     dune exec bin/hth_run.exe -- run pma --events
+     dune exec bin/hth_run.exe -- run grabem --no-dataflow --trust-nothing *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List every scenario in the evaluation corpus." in
+  let run () =
+    List.iter
+      (fun (gid, title, scs) ->
+        Printf.printf "%s (%s):\n" title gid;
+        List.iter
+          (fun (sc : Guest.Scenario.t) ->
+            Printf.printf "  %-40s %-18s %s\n" sc.sc_name
+              (Guest.Scenario.expected_label sc.sc_expected)
+              sc.sc_descr)
+          scs)
+      Guest.Corpus.groups
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let scenario_arg =
+  let doc = "Scenario name (see $(b,list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
+
+let events_flag =
+  let doc = "Also print the raw Harrier event stream." in
+  Arg.(value & flag & info [ "events" ] ~doc)
+
+let no_dataflow_flag =
+  let doc = "Disable per-instruction data-flow tracking." in
+  Arg.(value & flag & info [ "no-dataflow" ] ~doc)
+
+let no_freq_flag =
+  let doc = "Disable basic-block frequency tracking." in
+  Arg.(value & flag & info [ "no-frequency" ] ~doc)
+
+let no_shortcircuit_flag =
+  let doc = "Disable library-call short-circuiting (gethostbyname)." in
+  Arg.(value & flag & info [ "no-shortcircuit" ] ~doc)
+
+let trust_nothing_flag =
+  let doc = "Empty the trust database (libc warnings included)." in
+  Arg.(value & flag & info [ "trust-nothing" ] ~doc)
+
+let clips_flag =
+  let doc = "Drive Secpert with the textual CLIPS policy instead of the              native rules." in
+  Arg.(value & flag & info [ "clips-policy" ] ~doc)
+
+let verbose_flag =
+  let doc = "Enable debug tracing of syscalls and monitor events." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let kill_at_arg =
+  let doc =
+    "Kill the offending process when a warning at or above this severity \
+     fires (LOW, MEDIUM or HIGH) — stands in for the interactive user."
+  in
+  Arg.(value & opt (some string) None & info [ "kill-at" ] ~docv:"SEV" ~doc)
+
+let run_scenario name events no_dataflow no_freq no_shortcircuit
+    trust_nothing clips verbose kill_at =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  match Guest.Corpus.find name with
+  | None ->
+    Printf.eprintf "unknown scenario %S; try `list`\n" name;
+    exit 2
+  | Some sc ->
+    let monitor_config =
+      { Harrier.Monitor.default_config with
+        track_dataflow = not no_dataflow;
+        track_frequency = not no_freq;
+        shortcircuit =
+          (if no_shortcircuit then []
+           else Harrier.Monitor.default_config.shortcircuit) }
+    in
+    let trust =
+      if trust_nothing then Secpert.Trust.nothing else Secpert.Trust.default
+    in
+    let auto_kill =
+      Option.map
+        (fun s ->
+          match Secpert.Severity.of_label (String.uppercase_ascii s) with
+          | Some sev -> sev
+          | None ->
+            Printf.eprintf "bad severity %S (LOW|MEDIUM|HIGH)\n" s;
+            exit 2)
+        kill_at
+    in
+    let policy =
+      if clips then Secpert.System.Clips else Secpert.System.Native
+    in
+    let r =
+      Hth.Session.run ~monitor_config ~trust ~policy ?auto_kill sc.sc_setup
+    in
+    Fmt.pr "%a@." (Hth.Report.pp_result ~verbose:events) r;
+    Fmt.pr "expected: %s@."
+      (Guest.Scenario.expected_label sc.sc_expected);
+    Fmt.pr "%a@." Osim.Kernel.pp_report r.os_report;
+    if
+      not
+        (Guest.Scenario.matches sc.sc_expected (Hth.Report.verdict r))
+    then exit 1
+
+let run_cmd =
+  let doc = "Run one scenario under HTH monitoring." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run_scenario $ scenario_arg $ events_flag $ no_dataflow_flag
+      $ no_freq_flag $ no_shortcircuit_flag $ trust_nothing_flag
+      $ clips_flag $ verbose_flag $ kill_at_arg)
+
+let trace_cmd =
+  let doc =
+    "Run a scenario and print its event trace (replayable s-expressions)."
+  in
+  let run name =
+    match Guest.Corpus.find name with
+    | None ->
+      Printf.eprintf "unknown scenario %S; try `list`\n" name;
+      exit 2
+    | Some sc ->
+      let r = Hth.Session.run sc.sc_setup in
+      print_string (Hth.Trace.record r)
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ scenario_arg)
+
+let replay_cmd =
+  let doc =
+    "Replay a recorded trace file through Secpert (offline analysis)."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+  in
+  let run file clips =
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    match Hth.Trace.of_string contents with
+    | Error msg ->
+      Printf.eprintf "bad trace: %s\n" msg;
+      exit 2
+    | Ok events ->
+      let policy =
+        if clips then Secpert.System.Clips else Secpert.System.Native
+      in
+      let warnings = Hth.Trace.replay ~policy events in
+      Fmt.pr "%d events, %d warnings@." (List.length events)
+        (List.length warnings);
+      List.iter
+        (fun w -> Fmt.pr "%s@." (Secpert.Warning.to_string w))
+        (Secpert.Warning.dedup warnings)
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ clips_flag)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "hth_run" ~version:"1.0"
+      ~doc:"Hunting Trojan Horses: run monitored guest scenarios"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info [ list_cmd; run_cmd; trace_cmd; replay_cmd ]))

@@ -1,0 +1,1 @@
+examples/backdoor_hunt.ml: Fmt Guest Hth List Osim Secpert

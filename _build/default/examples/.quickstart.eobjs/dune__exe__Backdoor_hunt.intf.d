@@ -1,0 +1,1 @@
+examples/backdoor_hunt.mli:

@@ -1,0 +1,1 @@
+examples/clips_policy.ml: Expert Fmt List

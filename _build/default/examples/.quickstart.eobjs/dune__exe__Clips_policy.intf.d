@@ -1,0 +1,1 @@
+examples/clips_policy.mli:

@@ -1,0 +1,1 @@
+examples/cross_session.ml: Fmt Guest Hth List Secpert

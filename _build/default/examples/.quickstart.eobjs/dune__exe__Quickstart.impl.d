@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Binary Fmt Guest Hth List Secpert

@@ -1,0 +1,1 @@
+examples/taint_explorer.ml: Binary Fmt Guest Harrier Hth List String Taint

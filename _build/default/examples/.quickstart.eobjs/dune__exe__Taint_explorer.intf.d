@@ -1,0 +1,1 @@
+examples/taint_explorer.mli:

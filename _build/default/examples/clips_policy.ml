@@ -1,0 +1,71 @@
+(* The expert system speaks CLIPS: load the Appendix A.2 execve rule from
+   its textual form, assert the Appendix A.1 fact, and watch it fire.
+
+     dune exec examples/clips_policy.exe *)
+
+let policy_text =
+  {|
+;; Appendix A: the execution-flow policy, in CLIPS syntax.
+(defglobal ?*RARE_FREQUENCY* = 2)
+(defglobal ?*LONG_TIME* = 2000)
+
+(deftemplate system_call_access
+  (slot system_call_name)
+  (slot resource_name)
+  (slot resource_type)
+  (slot resource_origin_name)
+  (slot resource_origin_type)
+  (slot time)
+  (slot frequency)
+  (slot address))
+
+(defrule check_execve "check execve"
+  ?execve <- (system_call_access (system_call_name SYS_execve)
+               (resource_name ?name)
+               (resource_origin_name ?origin_name)
+               (resource_origin_type ?origin_type)
+               (time ?time) (frequency ?freq) (address ?addr))
+  (test (or (eq ?origin_type BINARY) (eq ?origin_type SOCKET)))
+  =>
+  (bind ?warning 1)
+  (if (and (< ?freq ?*RARE_FREQUENCY*) (> ?time ?*LONG_TIME*)) then
+    (bind ?warning 2))
+  (if (eq ?origin_type SOCKET) then
+    (bind ?warning 3))
+  (print-warning ?warning)
+  (printout t "Found SYS_execve call (" ?name ")" crlf)
+  (printout t "        (" ?name ") originated from (" ?origin_name ")" crlf)
+  (if (and (< ?freq ?*RARE_FREQUENCY*) (> ?time ?*LONG_TIME*)) then
+    (printout t "        This code is rarely executed..." crlf))
+  (retract ?execve))
+|}
+
+let () =
+  let engine = Expert.Engine.create () in
+  (* host function: map the numeric warning level to the paper's label *)
+  Expert.Engine.defun engine "print-warning" (fun args ->
+      let level =
+        match args with
+        | [ Expert.Value.Int 3 ] -> "HIGH"
+        | [ Expert.Value.Int 2 ] -> "MEDIUM"
+        | _ -> "LOW"
+      in
+      Expert.Engine.printout engine ("Warning [" ^ level ^ "]");
+      Expert.Value.sym_true);
+  Expert.Clips.load engine policy_text;
+  (* the fact of Appendix A.1 *)
+  let fact =
+    Expert.Engine.assert_fact engine "system_call_access"
+      [ "system_call_name", Expert.Value.Sym "SYS_execve";
+        "resource_name", Expert.Value.Str "/bin/ls";
+        "resource_type", Expert.Value.Sym "FILE";
+        "resource_origin_name",
+        Expert.Value.Str "/MicroBenchmarks/execve/execve.exe";
+        "resource_origin_type", Expert.Value.Sym "BINARY";
+        "time", Expert.Value.Int 33; "frequency", Expert.Value.Int 1;
+        "address", Expert.Value.Int 0x8048403 ]
+  in
+  Fmt.pr "asserted: %a@.@." Expert.Fact.pp fact;
+  let fired = Expert.Engine.run engine in
+  Fmt.pr "FIRE %d check_execve@." fired;
+  List.iter print_endline (Expert.Engine.drain_output engine)

@@ -1,0 +1,1 @@
+lib/binary/image.ml: Array Fmt Isa List Section Symbol

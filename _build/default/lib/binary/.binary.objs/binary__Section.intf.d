@@ -1,0 +1,1 @@
+lib/binary/section.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/binary/symbol.ml: Fmt List String

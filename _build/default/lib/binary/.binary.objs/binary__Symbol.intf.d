@@ -1,0 +1,1 @@
+lib/binary/symbol.mli: Format

@@ -1,0 +1,62 @@
+type kind = Executable | Shared_object
+
+type t = {
+  path : string;
+  kind : kind;
+  base : int;
+  text : Isa.Insn.t array;
+  sections : Section.t list;
+  exports : Symbol.export list;
+  relocs : Symbol.reloc list;
+  needed : string list;
+  entry : int;
+}
+
+let make ~path ~kind ~base ~text ~sections ~exports ~relocs ~needed ~entry =
+  { path; kind; base; text; sections; exports; relocs; needed; entry }
+
+let text_end img = img.base + Array.length img.text
+
+let contains_text img addr = addr >= img.base && addr < text_end img
+
+let fetch img addr =
+  if contains_text img addr then Some img.text.(addr - img.base) else None
+
+let patch_insn insn addr =
+  let open Isa.Insn in
+  match insn with
+  | Call (Imm _) -> Call (Imm addr)
+  | Jmp (Imm _) -> Jmp (Imm addr)
+  | Mov (sz, dst, Imm _) -> Mov (sz, dst, Imm addr)
+  | Push (Imm _) -> Push (Imm addr)
+  | _ ->
+    failwith
+      (Fmt.str "Image.link: unsupported relocation target %s"
+         (to_string insn))
+
+let link img ~resolve =
+  let text = Array.copy img.text in
+  List.iter
+    (fun (r : Symbol.reloc) ->
+      match resolve r.target with
+      | Some addr -> text.(r.text_index) <- patch_insn text.(r.text_index) addr
+      | None ->
+        failwith (Fmt.str "Image.link: unresolved symbol %S in %s" r.target
+                    img.path))
+    img.relocs;
+  { img with text; relocs = [] }
+
+let exported_routine img addr =
+  List.find_map
+    (fun (e : Symbol.export) ->
+      if e.sym_addr = addr then Some e.sym_name else None)
+    img.exports
+
+let pp ppf img =
+  let kind = match img.kind with
+    | Executable -> "exec"
+    | Shared_object -> "so"
+  in
+  Fmt.pf ppf "@[<v>%s (%s) base=0x%x text=%d insns entry=0x%x@,%a@]"
+    img.path kind img.base (Array.length img.text) img.entry
+    Fmt.(list ~sep:cut Section.pp) img.sections

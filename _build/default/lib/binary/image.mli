@@ -1,0 +1,56 @@
+(** Binary images: the unit of loading.
+
+    An image is either an executable or a shared object.  It carries a text
+    segment (instructions), data sections, an export table, import
+    relocations, and the list of shared objects it needs.  Images are
+    assembled at a fixed base address (the simulated world does not
+    relocate), which keeps internal references absolute. *)
+
+type kind = Executable | Shared_object
+
+type t = {
+  path : string;  (** filesystem path, e.g. ["/bin/ls"], ["/lib/libc.so"] *)
+  kind : kind;
+  base : int;  (** load address of text[0] *)
+  text : Isa.Insn.t array;
+  sections : Section.t list;  (** data sections at absolute addresses *)
+  exports : Symbol.export list;
+  relocs : Symbol.reloc list;
+  needed : string list;  (** paths of shared objects this image requires *)
+  entry : int;  (** absolute address of the entry point *)
+}
+
+val make :
+  path:string ->
+  kind:kind ->
+  base:int ->
+  text:Isa.Insn.t array ->
+  sections:Section.t list ->
+  exports:Symbol.export list ->
+  relocs:Symbol.reloc list ->
+  needed:string list ->
+  entry:int ->
+  t
+
+(** [text_end img] is one past the last text address. *)
+val text_end : t -> int
+
+(** [contains_text img addr] is true if [addr] is inside the text
+    segment. *)
+val contains_text : t -> int -> bool
+
+(** [fetch img addr] is the instruction at absolute address [addr]. *)
+val fetch : t -> int -> Isa.Insn.t option
+
+(** [link img ~resolve] patches every import relocation using [resolve]
+    (symbol name to absolute address), returning the linked image.
+    Relocations must target a [Call], [Jmp] or [Mov] immediate.
+    @raise Failure if a symbol cannot be resolved or a relocation targets
+    an unsupported instruction. *)
+val link : t -> resolve:(string -> int option) -> t
+
+(** [exported_routine img addr] is the exported symbol whose address is
+    exactly [addr], used by the monitor to detect routine entry. *)
+val exported_routine : t -> int -> string option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+type t = {
+  name : string;
+  addr : int;
+  bytes : Bytes.t;
+}
+
+let make ~name ~addr ~bytes = { name; addr; bytes }
+
+let size s = Bytes.length s.bytes
+
+let contains s addr = addr >= s.addr && addr < s.addr + size s
+
+let pp ppf s =
+  Fmt.pf ppf "%s @@ 0x%x (%d bytes)" s.name s.addr (size s)

@@ -1,0 +1,21 @@
+(** Data sections of a binary image.
+
+    Sections are the granularity at which Harrier tags loaded binary
+    content as BINARY (Table 3: "Information Flow / Section / Binary
+    load"). *)
+
+type t = {
+  name : string;  (** e.g. [".data"], [".rodata"] *)
+  addr : int;  (** absolute load address of the first byte *)
+  bytes : Bytes.t;  (** initial contents, copied into memory at load *)
+}
+
+val make : name:string -> addr:int -> bytes:Bytes.t -> t
+
+(** [size s] is the number of bytes in [s]. *)
+val size : t -> int
+
+(** [contains s addr] is true if [addr] falls inside [s]. *)
+val contains : t -> int -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+type export = {
+  sym_name : string;
+  sym_addr : int;
+}
+
+type reloc = {
+  text_index : int;
+  target : string;
+}
+
+let export sym_name sym_addr = { sym_name; sym_addr }
+
+let reloc text_index target = { text_index; target }
+
+let find_export exports name =
+  List.find_map
+    (fun e -> if String.equal e.sym_name name then Some e.sym_addr else None)
+    exports
+
+let pp_export ppf e = Fmt.pf ppf "%s=0x%x" e.sym_name e.sym_addr
+
+let pp_reloc ppf r = Fmt.pf ppf "text[%d]->%s" r.text_index r.target

@@ -1,0 +1,1 @@
+lib/core/patterns.ml: Fmt Harrier List Secpert Session String Taint

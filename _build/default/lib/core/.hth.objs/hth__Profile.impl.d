@@ -1,0 +1,1 @@
+lib/core/profile.ml: Fmt Hashtbl List Option Report Secpert Session String

@@ -1,0 +1,1 @@
+lib/core/report.ml: Fmt Harrier List Osim Secpert Session

@@ -1,0 +1,1 @@
+lib/core/secure_binary.ml: Array Binary Fmt Isa List

@@ -1,0 +1,1 @@
+lib/core/secure_binary.mli: Binary Format

@@ -1,0 +1,1 @@
+lib/core/session.ml: Binary Harrier List Osim Secpert

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Expert Fmt Harrier List Secpert Session String Taint

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Harrier Secpert Session

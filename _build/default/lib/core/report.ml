@@ -1,0 +1,32 @@
+type verdict =
+  | Benign
+  | Suspicious of Secpert.Severity.t
+
+let verdict (r : Session.result) =
+  match r.max_severity with
+  | None -> Benign
+  | Some s -> Suspicious s
+
+let equal_verdict a b =
+  match a, b with
+  | Benign, Benign -> true
+  | Suspicious x, Suspicious y -> Secpert.Severity.equal x y
+  | (Benign | Suspicious _), _ -> false
+
+let verdict_label = function
+  | Benign -> "benign"
+  | Suspicious s -> Fmt.str "suspicious[%s]" (Secpert.Severity.label s)
+
+let pp_verdict ppf v = Fmt.string ppf (verdict_label v)
+
+let pp_result ~verbose ppf (r : Session.result) =
+  Fmt.pf ppf "@[<v>verdict: %a@,warnings: %d (%d distinct)@,@]" pp_verdict
+    (verdict r) (List.length r.warnings) (List.length r.distinct);
+  List.iter
+    (fun w -> Fmt.pf ppf "%s@,@," (Secpert.Warning.to_string w))
+    r.distinct;
+  if verbose then begin
+    Fmt.pf ppf "@,events (%d):@," r.event_count;
+    List.iter (fun e -> Fmt.pf ppf "  %a@," Harrier.Events.pp e) r.events;
+    Fmt.pf ppf "@,%a@," Osim.Kernel.pp_report r.os_report
+  end

@@ -1,0 +1,18 @@
+(** Rendering session results and deriving verdicts. *)
+
+(** What HTH concluded about a run. *)
+type verdict =
+  | Benign  (** no warnings at all *)
+  | Suspicious of Secpert.Severity.t  (** highest warning severity *)
+
+val verdict : Session.result -> verdict
+
+val equal_verdict : verdict -> verdict -> bool
+
+val verdict_label : verdict -> string
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [pp_result ~verbose ppf r] prints warnings (deduplicated) and, when
+    [verbose], the raw event stream and the OS report. *)
+val pp_result : verbose:bool -> Format.formatter -> Session.result -> unit

@@ -1,0 +1,73 @@
+type violation = {
+  v_text_index : int;
+  v_addr : int;
+  v_syscall : string;
+  v_data_addr : int;
+}
+
+let in_data (img : Binary.Image.t) addr =
+  List.exists (fun s -> Binary.Section.contains s addr) img.sections
+
+(* Per-register constant tracking within one basic block: [Some v] when
+   the register was last loaded with the immediate [v]. *)
+let check (img : Binary.Image.t) =
+  let regs = Array.make Isa.Reg.count None in
+  let reset () = Array.fill regs 0 Isa.Reg.count None in
+  let kill (op : Isa.Operand.t) =
+    match op with
+    | Reg r -> regs.(Isa.Reg.index r) <- None
+    | Imm _ | Mem _ -> ()
+  in
+  let violations = ref [] in
+  let record i name data_addr =
+    violations :=
+      { v_text_index = i; v_addr = img.base + i; v_syscall = name;
+        v_data_addr = data_addr }
+      :: !violations
+  in
+  let syscall_of = function
+    | 5 -> Some ("SYS_open", [ Isa.Reg.EBX ])
+    | 8 -> Some ("SYS_creat", [ Isa.Reg.EBX ])
+    | 11 -> Some ("SYS_execve", [ Isa.Reg.EBX ])
+    | 4 -> Some ("SYS_write", [ Isa.Reg.ECX ])
+    | 102 -> Some ("SYS_socketcall", [ Isa.Reg.ECX ])
+    | _ -> None
+  in
+  Array.iteri
+    (fun i (insn : Isa.Insn.t) ->
+      match insn with
+      | Mov (Isa.Insn.W, Reg r, Imm v) ->
+        regs.(Isa.Reg.index r) <- Some v
+      | Mov (_, dst, _) | Add (dst, _) | Sub (dst, _) | And (dst, _)
+      | Or (dst, _) | Xor (dst, _) | Mul (dst, _) | Div (dst, _)
+      | Shl (dst, _) | Shr (dst, _) | Inc dst | Dec dst | Pop dst ->
+        kill dst
+      | Lea (r, _) -> regs.(Isa.Reg.index r) <- None
+      | Cpuid ->
+        List.iter
+          (fun r -> regs.(Isa.Reg.index r) <- None)
+          [ Isa.Reg.EAX; Isa.Reg.EBX; Isa.Reg.ECX; Isa.Reg.EDX ]
+      | Int 0x80 ->
+        (match regs.(Isa.Reg.index Isa.Reg.EAX) with
+         | Some nr ->
+           (match syscall_of nr with
+            | Some (name, arg_regs) ->
+              List.iter
+                (fun r ->
+                  match regs.(Isa.Reg.index r) with
+                  | Some v when in_data img v -> record i name v
+                  | Some _ | None -> ())
+                arg_regs
+            | None -> ())
+         | None -> ());
+        reset ()
+      | Jmp _ | Jcc _ | Call _ | Ret | Int _ | Hlt -> reset ()
+      | Cmp _ | Test _ | Push _ | Nop -> ())
+    img.text;
+  List.rev !violations
+
+let is_secure img = check img = []
+
+let pp_violation ppf v =
+  Fmt.pf ppf "text[%d]@@0x%x: %s argument points at hard-coded data 0x%x"
+    v.v_text_index v.v_addr v.v_syscall v.v_data_addr

@@ -1,0 +1,28 @@
+(** The "Secure Binary" static check (Appendix B).
+
+    A Secure Binary contains no hard-coded data used as a resource name
+    or resource content: such a binary is {e safer} (not safe) with
+    respect to Trojan Horses and Backdoors, because the dominant pattern
+    — hard-coded file names, socket addresses and payloads — is
+    impossible by construction.
+
+    This checker is a conservative static approximation: it scans each
+    basic block for immediates pointing into the image's own data
+    sections that reach a resource-naming system-call argument register
+    ([ebx] for open/creat/execve paths, the sockaddr pointer for
+    connect/bind) before the trapping [int $0x80]. *)
+
+type violation = {
+  v_text_index : int;  (** instruction index within the image's text *)
+  v_addr : int;  (** absolute instruction address *)
+  v_syscall : string;  (** the syscall whose argument is hard-coded *)
+  v_data_addr : int;  (** address inside the data section *)
+}
+
+(** [check img] returns all violations; an image with none is a Secure
+    Binary under the relaxed rule of Appendix B. *)
+val check : Binary.Image.t -> violation list
+
+val is_secure : Binary.Image.t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,75 @@
+type setup = {
+  programs : Binary.Image.t list;
+  files : (string * string) list;
+  hosts : (string * int) list;
+  servers : (string * int * Osim.Net.actor) list;
+  incoming : (int * Osim.Net.actor) list;
+  user_input : string list;
+  main : string;
+  argv : string list;
+  env : string list;
+  max_ticks : int;
+}
+
+let localhost_ip = 0x0100007F
+
+let setup ?(programs = []) ?(files = []) ?(hosts = []) ?(servers = [])
+    ?(incoming = []) ?(user_input = []) ?argv ?(env = [])
+    ?(max_ticks = 2_000_000) ~main () =
+  let argv = match argv with Some a -> a | None -> [ main ] in
+  { programs; files; hosts; servers; incoming; user_input; main; argv; env;
+    max_ticks }
+
+type result = {
+  os_report : Osim.Kernel.report;
+  events : Harrier.Events.t list;
+  warnings : Secpert.Warning.t list;
+  distinct : Secpert.Warning.t list;
+  max_severity : Secpert.Severity.t option;
+  event_count : int;
+}
+
+let build_world s =
+  let fs = Osim.Fs.create () in
+  List.iter (fun img -> Osim.Fs.install_image fs img) s.programs;
+  List.iter (fun (path, data) -> Osim.Fs.install fs path data) s.files;
+  let net = Osim.Net.create () in
+  Osim.Net.add_host net "LocalHost" localhost_ip;
+  List.iter (fun (name, ip) -> Osim.Net.add_host net name ip) s.hosts;
+  (* the guest libc resolves names against this database *)
+  Osim.Fs.install fs "/etc/hosts.db" (Osim.Net.hosts_db net);
+  List.iter
+    (fun (host, port, actor) -> Osim.Net.add_server net ~host ~port actor)
+    s.servers;
+  List.iter
+    (fun (port, actor) -> Osim.Net.add_incoming net ~port actor)
+    s.incoming;
+  fs, net
+
+let run ?monitor_config ?trust ?thresholds ?auto_kill ?policy s =
+  let fs, net = build_world s in
+  let kernel = Osim.Kernel.create ~fs ~net ~user_input:s.user_input () in
+  let monitor = Harrier.Monitor.attach ?config:monitor_config kernel in
+  let secpert =
+    Secpert.System.create ?trust ?thresholds ?auto_kill ?policy ()
+  in
+  Secpert.System.attach secpert monitor;
+  (match Osim.Kernel.spawn ~env:s.env kernel ~path:s.main ~argv:s.argv with
+   | Ok _ -> ()
+   | Error msg -> failwith ("Session.run: " ^ msg));
+  let os_report = Osim.Kernel.run kernel ~max_ticks:s.max_ticks in
+  { os_report;
+    events = Harrier.Monitor.events monitor;
+    warnings = Secpert.System.warnings secpert;
+    distinct = Secpert.System.distinct_warnings secpert;
+    max_severity = Secpert.System.max_severity secpert;
+    event_count = Harrier.Monitor.event_count monitor }
+
+let run_unmonitored s =
+  let fs, net = build_world s in
+  let kernel = Osim.Kernel.create ~fs ~net ~user_input:s.user_input () in
+  (match Osim.Kernel.spawn ~env:s.env kernel ~path:s.main ~argv:s.argv
+   with
+   | Ok _ -> ()
+   | Error msg -> failwith ("Session.run_unmonitored: " ^ msg));
+  Osim.Kernel.run kernel ~max_ticks:s.max_ticks

@@ -1,0 +1,67 @@
+(** Running a guest world under full HTH monitoring.
+
+    A {!setup} describes everything about one experiment: the images and
+    files installed, the network (hosts, scripted servers, scripted
+    incoming attackers), the user's typed input, and the program to run.
+    [run] builds the kernel, attaches Harrier and Secpert, spawns the
+    program and drives the world to completion. *)
+
+type setup = {
+  programs : Binary.Image.t list;  (** images installed into the fs *)
+  files : (string * string) list;  (** plain files: (path, contents) *)
+  hosts : (string * int) list;  (** DNS entries: (name, ip) *)
+  servers : (string * int * Osim.Net.actor) list;
+      (** remote servers the guest may connect to: (host, port, actor) *)
+  incoming : (int * Osim.Net.actor) list;
+      (** scripted remote clients for guest listeners: (port, actor) *)
+  user_input : string list;  (** successive stdin chunks *)
+  main : string;  (** path of the executable to spawn *)
+  argv : string list;
+  env : string list;  (** environment strings ("NAME=value") *)
+  max_ticks : int;
+}
+
+(** [setup ~main ()] with sensible defaults: [argv = [main]],
+    [max_ticks = 2_000_000], the loopback host predeclared. *)
+val setup :
+  ?programs:Binary.Image.t list ->
+  ?files:(string * string) list ->
+  ?hosts:(string * int) list ->
+  ?servers:(string * int * Osim.Net.actor) list ->
+  ?incoming:(int * Osim.Net.actor) list ->
+  ?user_input:string list ->
+  ?argv:string list ->
+  ?env:string list ->
+  ?max_ticks:int ->
+  main:string ->
+  unit ->
+  setup
+
+(** The loopback address every world knows as ["LocalHost"]. *)
+val localhost_ip : int
+
+type result = {
+  os_report : Osim.Kernel.report;
+  events : Harrier.Events.t list;
+  warnings : Secpert.Warning.t list;
+  distinct : Secpert.Warning.t list;  (** deduplicated *)
+  max_severity : Secpert.Severity.t option;
+  event_count : int;
+}
+
+(** [run setup] executes the experiment.  [monitor_config] tunes Harrier
+    (ablations turn dataflow/frequency/short-circuiting off); [trust],
+    [thresholds] and [auto_kill] configure Secpert.
+    @raise Failure if the main program cannot be loaded. *)
+val run :
+  ?monitor_config:Harrier.Monitor.config ->
+  ?trust:Secpert.Trust.t ->
+  ?thresholds:Secpert.Context.thresholds ->
+  ?auto_kill:Secpert.Severity.t ->
+  ?policy:Secpert.System.policy ->
+  setup ->
+  result
+
+(** [run_unmonitored setup] executes with a null monitor — the baseline
+    for the Section 9 performance comparison. *)
+val run_unmonitored : setup -> Osim.Kernel.report

@@ -1,0 +1,158 @@
+open Expert.Sexp
+
+let err fmt = Fmt.kstr (fun s -> failwith s) fmt
+
+(* ---------------- serialization ---------------- *)
+
+let sexp_of_source (s : Taint.Source.t) =
+  match s with
+  | User_input -> List [ Atom "user" ]
+  | Hardware -> List [ Atom "hardware" ]
+  | File n -> List [ Atom "file"; Quoted n ]
+  | Socket n -> List [ Atom "socket"; Quoted n ]
+  | Binary n -> List [ Atom "binary"; Quoted n ]
+
+let sexp_of_tagset t = List (List.map sexp_of_source (Taint.Tagset.to_list t))
+
+let kind_atom = function
+  | Harrier.Events.R_file -> Atom "file"
+  | Harrier.Events.R_socket -> Atom "socket"
+  | Harrier.Events.R_stdio -> Atom "stdio"
+
+let sexp_of_resource (r : Harrier.Events.resource) =
+  List [ kind_atom r.r_kind; Quoted r.r_name; sexp_of_tagset r.r_origin ]
+
+let sexp_of_meta (m : Harrier.Events.meta) =
+  List
+    [ Atom (string_of_int m.pid); Atom (string_of_int m.time);
+      Atom (string_of_int m.freq); Atom (string_of_int m.addr) ]
+
+let sexp_of_event (e : Harrier.Events.t) =
+  match e with
+  | Exec { path; argv; meta } ->
+    List
+      (Atom "exec" :: sexp_of_resource path :: sexp_of_meta meta
+       :: List.map (fun a -> Quoted a) argv)
+  | Clone { total; recent; window; meta } ->
+    List
+      [ Atom "clone"; Atom (string_of_int total);
+        Atom (string_of_int recent); Atom (string_of_int window);
+        sexp_of_meta meta ]
+  | Access { call; res; meta } ->
+    List [ Atom "access"; Atom call; sexp_of_resource res; sexp_of_meta meta ]
+  | Alloc { requested; total; meta } ->
+    List
+      [ Atom "alloc"; Atom (string_of_int requested);
+        Atom (string_of_int total); sexp_of_meta meta ]
+  | Transfer { call; data; head; sources; target; via_server; len; meta } ->
+    List
+      [ Atom "transfer"; Atom call; sexp_of_tagset data; Quoted head;
+        List
+          (List.map
+             (fun (src, origin) ->
+               List [ sexp_of_source src; sexp_of_tagset origin ])
+             sources);
+        sexp_of_resource target;
+        (match via_server with
+         | None -> Atom "none"
+         | Some srv -> sexp_of_resource srv);
+        Atom (string_of_int len); sexp_of_meta meta ]
+
+let to_string events =
+  String.concat "\n"
+    (List.map (fun e -> Fmt.to_to_string pp (sexp_of_event e)) events)
+  ^ "\n"
+
+let record (r : Session.result) = to_string r.events
+
+(* ---------------- parsing ---------------- *)
+
+let source_of_sexp = function
+  | List [ Atom "user" ] -> Taint.Source.User_input
+  | List [ Atom "hardware" ] -> Taint.Source.Hardware
+  | List [ Atom "file"; Quoted n ] -> Taint.Source.File n
+  | List [ Atom "socket"; Quoted n ] -> Taint.Source.Socket n
+  | List [ Atom "binary"; Quoted n ] -> Taint.Source.Binary n
+  | f -> err "trace: bad source %a" pp f
+
+let tagset_of_sexp = function
+  | List sources -> Taint.Tagset.of_list (List.map source_of_sexp sources)
+  | f -> err "trace: bad tagset %a" pp f
+
+let kind_of_atom = function
+  | Atom "file" -> Harrier.Events.R_file
+  | Atom "socket" -> Harrier.Events.R_socket
+  | Atom "stdio" -> Harrier.Events.R_stdio
+  | f -> err "trace: bad resource kind %a" pp f
+
+let resource_of_sexp = function
+  | List [ kind; Quoted name; tags ] ->
+    { Harrier.Events.r_kind = kind_of_atom kind; r_name = name;
+      r_origin = tagset_of_sexp tags }
+  | f -> err "trace: bad resource %a" pp f
+
+let int_of_atom = function
+  | Atom a ->
+    (match int_of_string_opt a with
+     | Some n -> n
+     | None -> err "trace: expected integer, got %s" a)
+  | f -> err "trace: expected integer, got %a" pp f
+
+let meta_of_sexp = function
+  | List [ pid; time; freq; addr ] ->
+    { Harrier.Events.pid = int_of_atom pid; time = int_of_atom time;
+      freq = int_of_atom freq; addr = int_of_atom addr }
+  | f -> err "trace: bad meta %a" pp f
+
+let string_of_quoted = function
+  | Quoted s -> s
+  | f -> err "trace: expected string, got %a" pp f
+
+let event_of_sexp = function
+  | List (Atom "exec" :: path :: meta :: argv) ->
+    Harrier.Events.Exec
+      { path = resource_of_sexp path; meta = meta_of_sexp meta;
+        argv = List.map string_of_quoted argv }
+  | List [ Atom "clone"; total; recent; window; meta ] ->
+    Harrier.Events.Clone
+      { total = int_of_atom total; recent = int_of_atom recent;
+        window = int_of_atom window; meta = meta_of_sexp meta }
+  | List [ Atom "access"; Atom call; res; meta ] ->
+    Harrier.Events.Access
+      { call; res = resource_of_sexp res; meta = meta_of_sexp meta }
+  | List [ Atom "alloc"; requested; total; meta ] ->
+    Harrier.Events.Alloc
+      { requested = int_of_atom requested; total = int_of_atom total;
+        meta = meta_of_sexp meta }
+  | List
+      [ Atom "transfer"; Atom call; data; Quoted head; List sources;
+        target; server; len; meta ] ->
+    Harrier.Events.Transfer
+      { call; data = tagset_of_sexp data; head;
+        sources =
+          List.map
+            (function
+              | List [ src; origin ] ->
+                source_of_sexp src, tagset_of_sexp origin
+              | f -> err "trace: bad transfer source %a" pp f)
+            sources;
+        target = resource_of_sexp target;
+        via_server =
+          (match server with
+           | Atom "none" -> None
+           | s -> Some (resource_of_sexp s));
+        len = int_of_atom len; meta = meta_of_sexp meta }
+  | f -> err "trace: unknown event form %a" pp f
+
+let of_string s =
+  match parse_all s with
+  | exception Parse_error msg -> Error msg
+  | forms ->
+    (try Ok (List.map event_of_sexp forms) with Failure msg -> Error msg)
+
+(* ---------------- replay ---------------- *)
+
+let replay ?trust ?thresholds ?policy events =
+  let secpert = Secpert.System.create ?trust ?thresholds ?policy () in
+  List.iter (fun e -> ignore (Secpert.System.handle_event secpert e)) events;
+  Secpert.System.warnings secpert

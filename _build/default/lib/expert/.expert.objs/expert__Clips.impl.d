@@ -1,0 +1,1 @@
+lib/expert/clips.ml: Buffer Engine Fmt List Pattern Sexp String Template Value

@@ -1,0 +1,1 @@
+lib/expert/clips.mli: Engine Value

@@ -1,0 +1,1 @@
+lib/expert/engine.ml: Fact Fmt Hashtbl List Pattern String Template Value

@@ -1,0 +1,1 @@
+lib/expert/engine.mli: Fact Pattern Template Value

@@ -1,0 +1,1 @@
+lib/expert/fact.ml: Fmt List Value

@@ -1,0 +1,1 @@
+lib/expert/fact.mli: Format Value

@@ -1,0 +1,1 @@
+lib/expert/pattern.ml: Fact Fmt List String Value

@@ -1,0 +1,1 @@
+lib/expert/pattern.mli: Fact Format Value

@@ -1,0 +1,1 @@
+lib/expert/sexp.ml: Buffer Char Fmt List String

@@ -1,0 +1,1 @@
+lib/expert/sexp.mli: Format

@@ -1,0 +1,1 @@
+lib/expert/template.ml: Fmt List Option String Value

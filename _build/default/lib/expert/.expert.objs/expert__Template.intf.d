@@ -1,0 +1,1 @@
+lib/expert/template.mli: Value

@@ -1,0 +1,1 @@
+lib/expert/value.ml: Fmt Int List String

@@ -1,0 +1,1 @@
+lib/expert/value.mli: Format

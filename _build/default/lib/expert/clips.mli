@@ -1,0 +1,31 @@
+(** A loader for a CLIPS-like textual policy language.
+
+    Supports the subset exercised by the paper's Appendix A:
+    - [(deftemplate name (slot s) ...)] with optional [(default v)];
+    - [(defglobal ?*name* = value)];
+    - [(defrule name "doc" lhs... => action...)] where the LHS mixes
+      patterns, fact bindings [?f <- (pattern)] and [(test expr)]
+      conditional elements, and actions include [assert], [retract],
+      [printout], [bind] and [if/then/else];
+    - [(deffunction name (?a ?b) expr...)] — in-language helper
+      functions, callable from tests and actions;
+    - toplevel [(assert (template (slot v)...))].
+
+    Expressions call built-in functions ([eq], [neq], [<], [>], [and],
+    [or], [not], [+], [-], [*], [str-cat], [empty-list], [length]) or host
+    functions registered with {!Engine.defun} — the paper's policy relies
+    on host functions [filter_binary] and [filter_socket]. *)
+
+exception Error of string
+
+(** [load engine text] parses and installs every form in [text].
+    @raise Error on syntax or semantic problems. *)
+val load : Engine.t -> string -> unit
+
+(** [eval engine expr_text] parses one expression and evaluates it with no
+    variable bindings (globals are visible); useful in tests. *)
+val eval : Engine.t -> string -> Value.t
+
+(** [install_builtins engine] registers the built-in function set; [load]
+    calls it automatically. *)
+val install_builtins : Engine.t -> unit

@@ -1,0 +1,153 @@
+type t = {
+  templates : (string, Template.t) Hashtbl.t;
+  mutable rules : rule list;  (* in definition order *)
+  mutable wm : Fact.t list;  (* newest first *)
+  mutable next_id : int;
+  fired : (string, unit) Hashtbl.t;  (* refraction keys *)
+  fns : (string, Value.t list -> Value.t) Hashtbl.t;
+  globals : (string, Value.t) Hashtbl.t;
+  mutable out : string -> unit;
+  mutable buffered : string list;  (* reversed *)
+}
+
+and rule = {
+  rule_name : string;
+  salience : int;
+  patterns : Pattern.t list;
+  negated : Pattern.t list;
+      (* CLIPS [not] conditional elements: the rule activates only when
+         no fact matches them under the accumulated bindings *)
+  guard : t -> Pattern.bindings -> bool;
+  action : t -> Pattern.bindings -> Fact.t list -> unit;
+}
+
+let rule ~name ?(salience = 0) ?(negated = []) ?(guard = fun _ _ -> true)
+    patterns action =
+  { rule_name = name; salience; negated; patterns; guard; action }
+
+let create () =
+  let e =
+    { templates = Hashtbl.create 16; rules = []; wm = []; next_id = 1;
+      fired = Hashtbl.create 64; fns = Hashtbl.create 16;
+      globals = Hashtbl.create 16; out = ignore; buffered = [] }
+  in
+  e.out <- (fun line -> e.buffered <- line :: e.buffered);
+  e
+
+let deftemplate e tpl = Hashtbl.replace e.templates tpl.Template.tpl_name tpl
+
+let template e name = Hashtbl.find_opt e.templates name
+
+let defrule e r = e.rules <- e.rules @ [ r ]
+
+let defun e name f = Hashtbl.replace e.fns name f
+
+let call_fn e name args =
+  match Hashtbl.find_opt e.fns name with
+  | Some f -> f args
+  | None -> failwith (Fmt.str "Engine: unknown function %S" name)
+
+let set_global e name v = Hashtbl.replace e.globals name v
+
+let global e name = Hashtbl.find_opt e.globals name
+
+let assert_fact e tpl_name slots =
+  let tpl =
+    match template e tpl_name with
+    | Some t -> t
+    | None -> failwith (Fmt.str "Engine: unknown template %S" tpl_name)
+  in
+  match Template.normalize tpl slots with
+  | Error msg -> failwith ("Engine: " ^ msg)
+  | Ok slots ->
+    let fact = Fact.make ~id:e.next_id ~template:tpl_name ~slots in
+    e.next_id <- e.next_id + 1;
+    e.wm <- fact :: e.wm;
+    fact
+
+let retract_id e id = e.wm <- List.filter (fun f -> f.Fact.id <> id) e.wm
+
+let retract e (f : Fact.t) = retract_id e f.id
+
+let facts e = e.wm
+
+let fact_by_id e id = List.find_opt (fun f -> f.Fact.id = id) e.wm
+
+let printout e line = e.out line
+
+let set_out e f = e.out <- f
+
+let drain_output e =
+  let lines = List.rev e.buffered in
+  e.buffered <- [];
+  lines
+
+(* An activation key encodes rule name + matched fact ids for refraction. *)
+let activation_key rule facts =
+  String.concat ","
+    (rule.rule_name :: List.map (fun f -> string_of_int f.Fact.id) facts)
+
+(* Enumerate activations by depth-first join over the rule's patterns;
+   negated conditional elements must match no fact under the final
+   bindings. *)
+let activations e rule =
+  let wm = e.wm in
+  let negation_clear bindings =
+    not
+      (List.exists
+         (fun p ->
+           List.exists (fun f -> Pattern.match_fact p bindings f <> None) wm)
+         rule.negated)
+  in
+  let rec go patterns bindings matched acc =
+    match patterns with
+    | [] ->
+      let matched = List.rev matched in
+      if rule.guard e bindings && negation_clear bindings then
+        (bindings, matched) :: acc
+      else acc
+    | p :: rest ->
+      List.fold_left
+        (fun acc fact ->
+          match Pattern.match_fact p bindings fact with
+          | Some bindings' -> go rest bindings' (fact :: matched) acc
+          | None -> acc)
+        acc wm
+  in
+  go rule.patterns [] [] []
+
+let next_activation e =
+  let candidates =
+    List.concat_map
+      (fun rule ->
+        List.filter_map
+          (fun (bindings, matched) ->
+            let key = activation_key rule matched in
+            if Hashtbl.mem e.fired key then None
+            else Some (rule, bindings, matched, key))
+          (activations e rule))
+      e.rules
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun ((r, _, _, _) as best) ((r', _, _, _) as cand) ->
+          if r'.salience > r.salience then cand else best)
+        first rest
+    in
+    Some best
+
+let run ?(limit = 10_000) e =
+  let rec loop fired =
+    if fired >= limit then fired
+    else
+      match next_activation e with
+      | None -> fired
+      | Some (rule, bindings, matched, key) ->
+        Hashtbl.replace e.fired key ();
+        rule.action e bindings matched;
+        loop (fired + 1)
+  in
+  loop 0

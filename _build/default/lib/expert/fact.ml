@@ -1,0 +1,18 @@
+type t = {
+  id : int;
+  template : string;
+  slots : (string * Value.t) list;
+}
+
+let make ~id ~template ~slots = { id; template; slots }
+
+let slot f name = List.assoc_opt name f.slots
+
+let slot_exn f name = List.assoc name f.slots
+
+let equal a b = a.id = b.id
+
+let pp ppf f =
+  let pp_slot ppf (name, v) = Fmt.pf ppf "(%s %a)" name Value.pp v in
+  Fmt.pf ppf "f-%d (%s %a)" f.id f.template
+    Fmt.(list ~sep:sp pp_slot) f.slots

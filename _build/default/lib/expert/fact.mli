@@ -1,0 +1,22 @@
+(** Facts: the data asserted into working memory (Appendix A.1).
+
+    A fact is an instance of a template with named slots, identified by a
+    unique index (CLIPS prints them as [f-43]). *)
+
+type t = {
+  id : int;
+  template : string;
+  slots : (string * Value.t) list;
+}
+
+val make : id:int -> template:string -> slots:(string * Value.t) list -> t
+
+(** [slot f name] is the value of slot [name], if present. *)
+val slot : t -> string -> Value.t option
+
+(** [slot_exn f name] raises [Not_found] when the slot is absent. *)
+val slot_exn : t -> string -> Value.t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

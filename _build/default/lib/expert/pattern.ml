@@ -1,0 +1,63 @@
+type test =
+  | Anything
+  | Lit of Value.t
+  | Var of string
+  | Pred of string * (Value.t -> bool)
+
+type t = {
+  p_template : string;
+  p_binding : string option;
+  p_slots : (string * test) list;
+}
+
+type bindings = (string * Value.t) list
+
+let make ?binding p_template p_slots =
+  { p_template; p_binding = binding; p_slots }
+
+let lookup b var = List.assoc_opt var b
+
+let bind b var v =
+  match lookup b var with
+  | None -> Some ((var, v) :: b)
+  | Some existing -> if Value.equal existing v then Some b else None
+
+let match_slot b fact (name, test) =
+  match Fact.slot fact name with
+  | None -> None
+  | Some v ->
+    (match test with
+     | Anything -> Some b
+     | Lit lit -> if Value.equal lit v then Some b else None
+     | Var var -> bind b var v
+     | Pred (_, p) -> if p v then Some b else None)
+
+let match_fact p b (fact : Fact.t) =
+  if not (String.equal p.p_template fact.template) then None
+  else
+    let b =
+      match p.p_binding with
+      | None -> Some b
+      | Some var -> bind b var (Value.Int fact.id)
+    in
+    List.fold_left
+      (fun acc slot ->
+        match acc with
+        | None -> None
+        | Some b -> match_slot b fact slot)
+      b p.p_slots
+
+let pp_test ppf = function
+  | Anything -> Fmt.string ppf "?"
+  | Lit v -> Value.pp ppf v
+  | Var v -> Fmt.pf ppf "?%s" v
+  | Pred (name, _) -> Fmt.pf ppf "<%s>" name
+
+let pp ppf p =
+  let pp_slot ppf (name, t) = Fmt.pf ppf "(%s %a)" name pp_test t in
+  let pp_bind ppf = function
+    | None -> ()
+    | Some v -> Fmt.pf ppf "?%s <- " v
+  in
+  Fmt.pf ppf "%a(%s %a)" pp_bind p.p_binding p.p_template
+    Fmt.(list ~sep:sp pp_slot) p.p_slots

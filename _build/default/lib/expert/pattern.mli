@@ -1,0 +1,32 @@
+(** Patterns: the left-hand side of rules.
+
+    A pattern matches facts of one template, slot by slot.  Variables bind
+    on first occurrence and must agree on later occurrences (within one
+    pattern or across the patterns of a rule). *)
+
+type test =
+  | Anything  (** the wildcard [?] *)
+  | Lit of Value.t  (** a literal that must be equal *)
+  | Var of string  (** a variable: binds or checks consistency *)
+  | Pred of string * (Value.t -> bool)
+      (** a named host predicate on the slot value *)
+
+type t = {
+  p_template : string;
+  p_binding : string option;  (** CLIPS [?f <- (pattern)] fact binding *)
+  p_slots : (string * test) list;
+}
+
+(** Bindings accumulated while matching; fact bindings are stored as
+    [Int fact-id] under the binding variable. *)
+type bindings = (string * Value.t) list
+
+val make : ?binding:string -> string -> (string * test) list -> t
+
+(** [match_fact p b f] extends bindings [b] if [f] matches [p]. *)
+val match_fact : t -> bindings -> Fact.t -> bindings option
+
+(** [lookup b var] is the value bound to [var]. *)
+val lookup : bindings -> string -> Value.t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(** A small s-expression reader for CLIPS-style policy text. *)
+
+type t =
+  | Atom of string  (** bare token, e.g. [defrule], [?name], [42] *)
+  | Quoted of string  (** double-quoted string with escapes *)
+  | List of t list
+
+exception Parse_error of string
+
+(** [parse_all s] reads every toplevel form in [s].  Comments run from
+    [;] to end of line.  @raise Parse_error on malformed input. *)
+val parse_all : string -> t list
+
+(** [parse s] reads exactly one form. *)
+val parse : string -> t
+
+val pp : Format.formatter -> t -> unit

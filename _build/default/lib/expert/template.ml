@@ -1,0 +1,34 @@
+type slot_def = {
+  slot_name : string;
+  default : Value.t option;
+}
+
+type t = {
+  tpl_name : string;
+  tpl_slots : slot_def list;
+}
+
+let make tpl_name tpl_slots = { tpl_name; tpl_slots }
+
+let slot ?default slot_name = { slot_name; default }
+
+let normalize t given =
+  let unknown =
+    List.filter
+      (fun (name, _) ->
+        not (List.exists (fun s -> String.equal s.slot_name name) t.tpl_slots))
+      given
+  in
+  match unknown with
+  | (name, _) :: _ ->
+    Error (Fmt.str "template %s has no slot %S" t.tpl_name name)
+  | [] ->
+    Ok
+      (List.map
+         (fun s ->
+           match List.assoc_opt s.slot_name given with
+           | Some v -> s.slot_name, v
+           | None ->
+             ( s.slot_name,
+               Option.value s.default ~default:(Value.Sym "nil") ))
+         t.tpl_slots)

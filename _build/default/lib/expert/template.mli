@@ -1,0 +1,22 @@
+(** Templates: typed fact schemas (CLIPS [deftemplate]). *)
+
+type slot_def = {
+  slot_name : string;
+  default : Value.t option;  (** used when an assertion omits the slot *)
+}
+
+type t = {
+  tpl_name : string;
+  tpl_slots : slot_def list;
+}
+
+val make : string -> slot_def list -> t
+
+(** [slot ?default name] declares a slot. *)
+val slot : ?default:Value.t -> string -> slot_def
+
+(** [normalize t given] checks [given] against the template: unknown slots
+    are an error; missing slots take their default (or [Sym "nil"]).
+    The result preserves the template's slot order. *)
+val normalize :
+  t -> (string * Value.t) list -> ((string * Value.t) list, string) result

@@ -1,0 +1,45 @@
+type t =
+  | Sym of string
+  | Str of string
+  | Int of int
+  | Lst of t list
+
+let rec equal a b =
+  match a, b with
+  | Sym x, Sym y | Str x, Str y -> String.equal x y
+  | Int x, Int y -> x = y
+  | Lst x, Lst y ->
+    List.length x = List.length y && List.for_all2 equal x y
+  | (Sym _ | Str _ | Int _ | Lst _), _ -> false
+
+let rec compare a b =
+  let rank = function Sym _ -> 0 | Str _ -> 1 | Int _ -> 2 | Lst _ -> 3 in
+  match a, b with
+  | Sym x, Sym y | Str x, Str y -> String.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Lst x, Lst y -> List.compare compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let sym_false = Sym "FALSE"
+let sym_true = Sym "TRUE"
+let of_bool b = if b then sym_true else sym_false
+
+let truthy = function
+  | Sym "FALSE" -> false
+  | Int 0 -> false
+  | Lst [] -> false
+  | Sym _ | Str _ | Int _ | Lst _ -> true
+
+let rec pp ppf = function
+  | Sym s -> Fmt.string ppf s
+  | Str s -> Fmt.pf ppf "%S" s
+  | Int n -> Fmt.int ppf n
+  | Lst vs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:sp pp) vs
+
+let rec text = function
+  | Sym s -> s
+  | Str s -> s
+  | Int n -> string_of_int n
+  | Lst vs -> String.concat " " (List.map text vs)
+
+let to_string = Fmt.to_to_string pp

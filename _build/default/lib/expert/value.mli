@@ -1,0 +1,29 @@
+(** Values manipulated by the expert system (CLIPS-style). *)
+
+type t =
+  | Sym of string  (** a symbol, e.g. [SYS_execve], [BINARY] *)
+  | Str of string  (** a quoted string, e.g. ["/bin/ls"] *)
+  | Int of int
+  | Lst of t list  (** a multifield value *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** [truthy v] follows CLIPS: everything except the symbol [FALSE], the
+    integer [0] and the empty multifield is true. *)
+val truthy : t -> bool
+
+val sym_false : t
+
+val sym_true : t
+
+val of_bool : bool -> t
+
+(** [text v] is the printable contents: strings without quotes, symbols
+    verbatim, integers in decimal. *)
+val text : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

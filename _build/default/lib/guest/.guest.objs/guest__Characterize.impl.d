@@ -1,0 +1,1 @@
+lib/guest/characterize.ml: Asm Binary Common Hth Libc Osim Runtime Scenario Secpert

@@ -1,0 +1,1 @@
+lib/guest/common.ml: Asm Binary Runtime

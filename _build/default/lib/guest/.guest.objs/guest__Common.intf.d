@@ -1,0 +1,1 @@
+lib/guest/common.mli: Binary

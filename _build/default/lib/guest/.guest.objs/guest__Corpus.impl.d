@@ -1,0 +1,1 @@
+lib/guest/corpus.ml: Characterize Exploits Extensions List Macro Micro_exec Micro_flow Micro_fork Scenario String Trusted

@@ -1,0 +1,1 @@
+lib/guest/corpus.mli: Scenario

@@ -1,0 +1,1 @@
+lib/guest/extensions.mli: Scenario

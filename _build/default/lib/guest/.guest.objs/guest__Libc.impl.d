@@ -1,0 +1,1 @@
+lib/guest/libc.ml: Asm Binary Lazy Osim

@@ -1,0 +1,1 @@
+lib/guest/macro.ml: Asm Binary Common Hth Osim Runtime Scenario Secpert

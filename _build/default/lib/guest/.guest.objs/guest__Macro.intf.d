@@ -1,0 +1,1 @@
+lib/guest/macro.mli: Scenario

@@ -1,0 +1,1 @@
+lib/guest/micro_exec.ml: Asm Binary Common Hth Osim Runtime Scenario Secpert

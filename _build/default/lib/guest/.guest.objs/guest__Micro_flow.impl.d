@@ -1,0 +1,1 @@
+lib/guest/micro_flow.ml: Asm Binary Common Fmt Hth Libc List Osim Runtime Scenario Secpert String

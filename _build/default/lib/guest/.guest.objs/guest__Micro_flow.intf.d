@@ -1,0 +1,1 @@
+lib/guest/micro_flow.mli: Scenario

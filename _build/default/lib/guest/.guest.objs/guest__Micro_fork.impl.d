@@ -1,0 +1,1 @@
+lib/guest/micro_fork.ml: Asm Binary Common Hth Runtime Scenario Secpert

@@ -1,0 +1,1 @@
+lib/guest/perf_workload.ml: Asm Binary Common Fmt Hth Osim Runtime Scenario Secpert String

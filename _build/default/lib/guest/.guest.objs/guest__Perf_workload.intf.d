@@ -1,0 +1,1 @@
+lib/guest/perf_workload.mli: Scenario

@@ -1,0 +1,1 @@
+lib/guest/runtime.ml: Asm Bytes Int32 List Osim String

@@ -1,0 +1,1 @@
+lib/guest/runtime.mli: Asm Isa

@@ -1,0 +1,1 @@
+lib/guest/scenario.ml: Fmt Hth Secpert

@@ -1,0 +1,1 @@
+lib/guest/scenario.mli: Harrier Hth Secpert

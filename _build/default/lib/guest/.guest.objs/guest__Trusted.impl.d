@@ -1,0 +1,1 @@
+lib/guest/trusted.ml: Asm Binary Char Common Hth Osim Runtime Scenario Secpert

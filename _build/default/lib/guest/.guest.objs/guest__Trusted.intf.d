@@ -1,0 +1,1 @@
+lib/guest/trusted.mli: Scenario

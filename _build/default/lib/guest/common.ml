@@ -1,0 +1,19 @@
+let exe_base = 0x1000
+
+let so_base = 0x60000
+
+let trivial ?output path =
+  let u = Asm.create ~path ~kind:Binary.Image.Executable ~base:exe_base () in
+  Asm.label u "_start";
+  (match output with
+   | Some s -> Runtime.print u "__msg" s
+   | None -> ());
+  Runtime.sys_exit u 0;
+  Asm.hlt u;
+  Asm.finalize u
+
+let evil_host = "evil.example", 0x0A00000A
+let data_host = "data.example", 0x0A00000B
+let sink_host = "sink.example", 0x0A00000C
+
+let all_hosts = [ evil_host; data_host; sink_host ]

@@ -1,0 +1,24 @@
+(** Shared guest-corpus pieces: standard bases, trivial executables and
+    well-known remote hosts. *)
+
+(** Load base for main executables. *)
+val exe_base : int
+
+(** Load base for auxiliary shared objects (libX11 etc.). *)
+val so_base : int
+
+(** [trivial ?output path] is an executable that optionally prints
+    [output] and exits 0 — stands in for /bin/true, cc1plus, crontab and
+    friends. *)
+val trivial : ?output:string -> string -> Binary.Image.t
+
+(** Well-known simulated remote hosts (name, ip). *)
+
+val evil_host : string * int
+
+val data_host : string * int
+
+val sink_host : string * int
+
+(** [all_hosts] is every entry above, ready for a session setup. *)
+val all_hosts : (string * int) list

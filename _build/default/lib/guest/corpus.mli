@@ -1,0 +1,11 @@
+(** The whole evaluation corpus, grouped by the paper's tables. *)
+
+(** [(group id, human title, scenarios)] in paper order. *)
+val groups : (string * string * Scenario.t list) list
+
+val all : Scenario.t list
+
+(** [find name] looks a scenario up by its [sc_name]. *)
+val find : string -> Scenario.t option
+
+val names : string list

@@ -1,0 +1,8 @@
+(** An instruction-dense workload for the Section 9 performance study: a
+    copy/checksum kernel over file data, dominated by memory moves and
+    ALU work so per-instruction monitoring cost is visible, with file
+    I/O at both ends. *)
+
+(** [scenario ~iters] copies and checksums a 64-byte buffer [iters]
+    times (roughly [560 * iters] instructions). *)
+val scenario : iters:int -> Scenario.t

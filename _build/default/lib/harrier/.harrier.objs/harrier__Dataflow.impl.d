@@ -1,0 +1,1 @@
+lib/harrier/dataflow.ml: Isa List Shadow Taint Vm

@@ -1,0 +1,1 @@
+lib/harrier/dataflow.mli: Isa Shadow Taint Vm

@@ -1,0 +1,1 @@
+lib/harrier/events.ml: Fmt Taint

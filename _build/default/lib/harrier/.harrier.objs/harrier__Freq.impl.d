@@ -1,0 +1,1 @@
+lib/harrier/freq.ml: Hashtbl

@@ -1,0 +1,1 @@
+lib/harrier/freq.mli:

@@ -1,0 +1,1 @@
+lib/harrier/monitor.ml: Binary Dataflow Events Fmt Freq Hashtbl Isa List Logs Option Osim Resources Shadow Shortcircuit String Taint Vm

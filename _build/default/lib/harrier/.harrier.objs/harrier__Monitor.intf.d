@@ -1,0 +1,1 @@
+lib/harrier/monitor.mli: Events Osim Shadow Shortcircuit

@@ -1,0 +1,1 @@
+lib/harrier/resources.ml: Events Hashtbl Osim Taint

@@ -1,0 +1,1 @@
+lib/harrier/resources.mli: Events Osim Taint

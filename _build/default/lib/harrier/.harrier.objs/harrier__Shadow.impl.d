@@ -1,0 +1,1 @@
+lib/harrier/shadow.ml: Array Hashtbl Isa Taint

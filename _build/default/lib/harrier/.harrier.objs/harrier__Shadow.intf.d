@@ -1,0 +1,1 @@
+lib/harrier/shadow.mli: Isa Taint

@@ -1,0 +1,1 @@
+lib/harrier/shortcircuit.ml: List Shadow String Taint Vm

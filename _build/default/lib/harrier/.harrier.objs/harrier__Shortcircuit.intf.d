@@ -1,0 +1,1 @@
+lib/harrier/shortcircuit.mli: Shadow Taint Vm

@@ -1,0 +1,54 @@
+let size_bytes = function Isa.Insn.B -> 1 | Isa.Insn.W -> 4
+
+let operand_tag shadow m ~imm_tag size (op : Isa.Operand.t) =
+  match op with
+  | Imm _ -> imm_tag
+  | Reg r -> Shadow.reg shadow r
+  | Mem ref ->
+    Shadow.range shadow (Vm.Machine.eff_addr m ref) (size_bytes size)
+
+let write_tag shadow m size (op : Isa.Operand.t) tag =
+  match op with
+  | Imm _ -> ()
+  | Reg r -> Shadow.set_reg shadow r tag
+  | Mem ref ->
+    Shadow.set_range shadow (Vm.Machine.eff_addr m ref) (size_bytes size) tag
+
+let step shadow m ~imm_tag (insn : Isa.Insn.t) =
+  let src = operand_tag shadow m ~imm_tag in
+  let union2 dst s =
+    let tag = Taint.Tagset.union (src Isa.Insn.W dst) (src Isa.Insn.W s) in
+    write_tag shadow m Isa.Insn.W dst tag
+  in
+  match insn with
+  | Mov (sz, dst, s) -> write_tag shadow m sz dst (src sz s)
+  | Lea (r, ref) ->
+    let reg_tag = function
+      | None -> Taint.Tagset.empty
+      | Some reg -> Shadow.reg shadow reg
+    in
+    Shadow.set_reg shadow r
+      (Taint.Tagset.union imm_tag
+         (Taint.Tagset.union (reg_tag ref.base) (reg_tag ref.index)))
+  | Add (d, s) | Sub (d, s) | And (d, s) | Or (d, s) | Xor (d, s)
+  | Mul (d, s) | Div (d, s) | Shl (d, s) | Shr (d, s) -> union2 d s
+  | Inc d | Dec d ->
+    write_tag shadow m Isa.Insn.W d
+      (Taint.Tagset.union (src Isa.Insn.W d) imm_tag)
+  | Cmp _ | Test _ -> ()
+  | Push a ->
+    let sp = Vm.Machine.get_reg m ESP - 4 in
+    Shadow.set_range shadow sp 4 (src Isa.Insn.W a)
+  | Pop dst ->
+    let sp = Vm.Machine.get_reg m ESP in
+    write_tag shadow m Isa.Insn.W dst (Shadow.range shadow sp 4)
+  | Call _ ->
+    (* the CPU pushes an untainted return address *)
+    let sp = Vm.Machine.get_reg m ESP - 4 in
+    Shadow.set_range shadow sp 4 Taint.Tagset.empty
+  | Cpuid ->
+    let hw = Taint.Tagset.singleton Taint.Source.Hardware in
+    List.iter
+      (fun r -> Shadow.set_reg shadow r hw)
+      [ Isa.Reg.EAX; Isa.Reg.EBX; Isa.Reg.ECX; Isa.Reg.EDX ]
+  | Jmp _ | Jcc _ | Ret | Int _ | Nop | Hlt -> ()

@@ -1,0 +1,18 @@
+(** Per-instruction taint propagation (Section 7.3.1).
+
+    Called from the [pre_insn] hook, {e before} the CPU mutates state, so
+    effective addresses are computed against the same register values the
+    CPU will use.  Propagation rules follow the paper:
+    - [mov] copies the source tag to the destination;
+    - ALU instructions assign the destination the {e union} of both
+      operand tags;
+    - immediates carry the BINARY tag of the image the executing code
+      belongs to;
+    - [cpuid] writes the HARDWARE tag into eax..edx;
+    - comparisons and control transfers propagate nothing (implicit flows
+      are out of scope, as in the prototype). *)
+
+(** [step shadow machine ~imm_tag insn] updates [shadow] for the effects
+    of [insn].  [imm_tag] is the BINARY tag of the executing image. *)
+val step :
+  Shadow.t -> Vm.Machine.t -> imm_tag:Taint.Tagset.t -> Isa.Insn.t -> unit

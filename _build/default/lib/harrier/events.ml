@@ -1,0 +1,66 @@
+type resource_kind = R_file | R_socket | R_stdio
+
+type resource = {
+  r_kind : resource_kind;
+  r_name : string;
+  r_origin : Taint.Tagset.t;
+}
+
+type meta = {
+  pid : int;
+  time : int;
+  freq : int;
+  addr : int;
+}
+
+type t =
+  | Exec of { path : resource; argv : string list; meta : meta }
+  | Clone of { total : int; recent : int; window : int; meta : meta }
+  | Access of { call : string; res : resource; meta : meta }
+  | Alloc of { requested : int; total : int; meta : meta }
+  | Transfer of {
+      call : string;
+      data : Taint.Tagset.t;
+      head : string;
+      sources : (Taint.Source.t * Taint.Tagset.t) list;
+      target : resource;
+      via_server : resource option;
+      len : int;
+      meta : meta;
+    }
+
+let kind_name = function
+  | R_file -> "FILE"
+  | R_socket -> "SOCKET"
+  | R_stdio -> "STDIO"
+
+let meta_of = function
+  | Exec { meta; _ } | Clone { meta; _ } | Access { meta; _ }
+  | Alloc { meta; _ } | Transfer { meta; _ } -> meta
+
+let pp_resource ppf r =
+  Fmt.pf ppf "%s %S origin=%a" (kind_name r.r_kind) r.r_name Taint.Tagset.pp
+    r.r_origin
+
+let pp_meta ppf m =
+  Fmt.pf ppf "pid=%d time=%d freq=%d addr=0x%x" m.pid m.time m.freq m.addr
+
+let pp ppf = function
+  | Exec { path; argv; meta } ->
+    Fmt.pf ppf "@[exec %a argv=[%a] %a@]" pp_resource path
+      Fmt.(list ~sep:(any " ") string)
+      argv pp_meta meta
+  | Clone { total; recent; window; meta } ->
+    Fmt.pf ppf "@[clone total=%d recent=%d/%d %a@]" total recent window
+      pp_meta meta
+  | Access { call; res; meta } ->
+    Fmt.pf ppf "@[%s %a %a@]" call pp_resource res pp_meta meta
+  | Alloc { requested; total; meta } ->
+    Fmt.pf ppf "@[brk requested=0x%x total=%d %a@]" requested total pp_meta
+      meta
+  | Transfer { call; data; target; via_server; len; meta; sources = _;
+               head = _ } ->
+    Fmt.pf ppf "@[%s %d bytes data=%a -> %a%a %a@]" call len Taint.Tagset.pp
+      data pp_resource target
+      Fmt.(option (any " via server " ++ pp_resource))
+      via_server pp_meta meta

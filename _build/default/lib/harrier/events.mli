@@ -1,0 +1,60 @@
+(** Events Harrier sends to Secpert (Section 6.1.2).
+
+    Two shapes, as in the paper: {e resource access} (a system call names
+    a resource — execve, open, connect, bind, accept, clone) and {e data
+    transfer} (a write/send moves tagged data into a resource).  Every
+    event carries the time (world ticks), the frequency of the attributed
+    application basic block and its address — the slots of the CLIPS
+    facts of Appendix A.1. *)
+
+type resource_kind = R_file | R_socket | R_stdio
+
+(** A resource plus the provenance of its {e name}. *)
+type resource = {
+  r_kind : resource_kind;
+  r_name : string;  (** path, peer address, or STDIN/STDOUT *)
+  r_origin : Taint.Tagset.t;  (** taint of the name's bytes *)
+}
+
+(** Event metadata common to all events. *)
+type meta = {
+  pid : int;
+  time : int;
+  freq : int;  (** execution count of the attributed application BB *)
+  addr : int;  (** leader address of that BB *)
+}
+
+type t =
+  | Exec of { path : resource; argv : string list; meta : meta }
+      (** an [execve] is about to run *)
+  | Clone of { total : int; recent : int; window : int; meta : meta }
+      (** a process is being created; [total] clones so far, [recent] of
+          them within the last [window] ticks *)
+  | Access of { call : string; res : resource; meta : meta }
+      (** open / creat / connect / bind / listen / accept *)
+  | Alloc of { requested : int; total : int; meta : meta }
+      (** the program break moved; [total] is heap bytes now held *)
+  | Transfer of {
+      call : string;
+      data : Taint.Tagset.t;  (** taint of the transferred bytes *)
+      head : string;  (** first bytes of the written data (content
+                          analysis: executable magic detection) *)
+      sources : (Taint.Source.t * Taint.Tagset.t) list;
+          (** each data source paired with the origin of {e its} resource
+              name (how the source file/socket was itself named), empty
+              for USER_INPUT / BINARY / HARDWARE sources *)
+      target : resource;
+      via_server : resource option;
+          (** for accepted connections: the listening socket (name = local
+              address, origin = taint of the bound address) *)
+      len : int;
+      meta : meta;
+    }
+
+val kind_name : resource_kind -> string
+
+val meta_of : t -> meta
+
+val pp_resource : Format.formatter -> resource -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type t = {
+  counts : (int * int, int) Hashtbl.t;  (* (pid, bb leader) -> count *)
+  last_app : (int, int) Hashtbl.t;  (* pid -> leader of last app BB *)
+}
+
+let create () = { counts = Hashtbl.create 256; last_app = Hashtbl.create 8 }
+
+let on_bb t ~pid ~is_app addr =
+  if is_app then begin
+    Hashtbl.replace t.last_app pid addr;
+    let key = pid, addr in
+    let n = match Hashtbl.find_opt t.counts key with
+      | Some n -> n
+      | None -> 0
+    in
+    Hashtbl.replace t.counts key (n + 1)
+  end
+
+let attributed_bb t ~pid = Hashtbl.find_opt t.last_app pid
+
+let count t ~pid addr =
+  match Hashtbl.find_opt t.counts (pid, addr) with
+  | Some n -> n
+  | None -> 0
+
+let event_frequency t ~pid =
+  match attributed_bb t ~pid with
+  | Some addr -> count t ~pid addr
+  | None -> 0
+
+let inherit_from t ~parent ~child =
+  (match Hashtbl.find_opt t.last_app parent with
+   | Some addr -> Hashtbl.replace t.last_app child addr
+   | None -> ());
+  Hashtbl.iter
+    (fun (pid, addr) n ->
+      if pid = parent then Hashtbl.replace t.counts (child, addr) n)
+    (Hashtbl.copy t.counts)
+
+let reset t ~pid =
+  Hashtbl.remove t.last_app pid;
+  Hashtbl.iter
+    (fun ((p, _) as key) _ -> if p = pid then Hashtbl.remove t.counts key)
+    (Hashtbl.copy t.counts)

@@ -1,0 +1,367 @@
+let log_src = Logs.Src.create "hth.harrier" ~doc:"Harrier monitor"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  track_dataflow : bool;
+  track_frequency : bool;
+  shortcircuit : Shortcircuit.spec list;
+  clone_window : int;
+}
+
+let default_config =
+  { track_dataflow = true; track_frequency = true;
+    shortcircuit = [ Shortcircuit.gethostbyname ]; clone_window = 3000 }
+
+(* Per-process monitor state, keyed by the machine (physical equality —
+   a machine is the identity of a running program instance). *)
+type pstate = {
+  pid : int;
+  shadow : Shadow.t;
+  sc : Shortcircuit.t;
+  mutable pending_origin : Taint.Tagset.t option;
+      (** origin of the resource name seen at the pre-syscall hook,
+          attached to the fd at the post hook *)
+}
+
+type t = {
+  cfg : config;
+  kernel : Osim.Kernel.t;
+  freq : Freq.t;
+  resources : Resources.t;
+  routines : (int, string) Hashtbl.t;  (* short-circuited routine entries *)
+  name_origins : (string, Taint.Tagset.t) Hashtbl.t;
+      (* last known origin of each resource name, for transfer sources *)
+  imm_tags : (string, Taint.Tagset.t) Hashtbl.t;  (* image -> BINARY tag *)
+  mutable pmap : (Vm.Machine.t * pstate) list;
+  mutable cur : (Vm.Machine.t * pstate) option;
+  mutable clone_times : int list;
+  mutable sink : Events.t -> Osim.Kernel.decision;
+  mutable log : Events.t list;  (* newest first *)
+  mutable count : int;
+}
+
+let config t = t.cfg
+
+let set_sink t f = t.sink <- f
+
+let events t = List.rev t.log
+
+let event_count t = t.count
+
+let state_of t m =
+  match t.cur with
+  | Some (m', s) when m' == m -> s
+  | _ ->
+    (match List.find_opt (fun (m', _) -> m' == m) t.pmap with
+     | Some ((_, s) as hit) ->
+       t.cur <- Some hit;
+       s
+     | None ->
+       (* a machine the monitor never saw; should not happen *)
+       failwith "Harrier.Monitor: unknown machine")
+
+let shadow_of_pid t pid =
+  List.find_map
+    (fun (_, s) -> if s.pid = pid then Some s.shadow else None)
+    t.pmap
+
+let imm_tag t image =
+  match Hashtbl.find_opt t.imm_tags image with
+  | Some tag -> tag
+  | None ->
+    let tag = Taint.Tagset.singleton (Taint.Source.Binary image) in
+    Hashtbl.replace t.imm_tags image tag;
+    tag
+
+let emit t e =
+  t.log <- e :: t.log;
+  t.count <- t.count + 1;
+  Log.debug (fun f -> f "event %a" Events.pp e);
+  t.sink e
+
+let emit_log_only t e = ignore (emit t e)
+
+let meta t (s : pstate) : Events.meta =
+  { pid = s.pid; time = Osim.Kernel.ticks t.kernel;
+    freq = Freq.event_frequency t.freq ~pid:s.pid;
+    addr =
+      (match Freq.attributed_bb t.freq ~pid:s.pid with
+       | Some a -> a
+       | None -> 0) }
+
+let string_origin s m addr =
+  match Vm.Machine.read_cstring m addr with
+  | exception Vm.Machine.Fault_exn _ -> Taint.Tagset.empty
+  | str -> Shadow.range s.shadow addr (max 1 (String.length str))
+
+(* ------------------------------------------------------------------ *)
+(* Machine hooks                                                       *)
+
+let hook_bb t m addr =
+  match state_of t m with
+  | exception Failure _ -> ()
+  | s ->
+    let is_app =
+      match Vm.Machine.segment_at m addr with
+      | Some seg -> seg.seg_kind = Binary.Image.Executable
+      | None -> false
+    in
+    Freq.on_bb t.freq ~pid:s.pid ~is_app addr
+
+let hook_insn t m addr insn =
+  match state_of t m with
+  | exception Failure _ -> ()
+  | s ->
+    (match (insn : Isa.Insn.t) with
+     | Call target ->
+       let dest = Vm.Machine.read_operand m Isa.Insn.W target in
+       (match Hashtbl.find_opt t.routines dest with
+        | Some routine ->
+          Shortcircuit.on_call s.sc ~routine m s.shadow ~ret_addr:(addr + 1)
+        | None -> ())
+     | Ret -> Shortcircuit.on_ret s.sc m s.shadow
+     | _ -> ());
+    if t.cfg.track_dataflow then begin
+      let tag =
+        match Vm.Machine.segment_at m addr with
+        | Some seg -> imm_tag t seg.seg_image
+        | None -> Taint.Tagset.empty
+      in
+      Dataflow.step s.shadow m ~imm_tag:tag insn
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Kernel callbacks                                                    *)
+
+let on_process_start t (p : Osim.Process.t) =
+  t.pmap <- List.filter (fun (_, s) -> s.pid <> p.pid) t.pmap;
+  t.cur <- None;
+  let s =
+    { pid = p.pid; shadow = Shadow.create ();
+      sc = Shortcircuit.create t.cfg.shortcircuit; pending_origin = None }
+  in
+  t.pmap <- (p.machine, s) :: t.pmap;
+  Freq.reset t.freq ~pid:p.pid;
+  (* argv / environment live on the initial stack: USER_INPUT *)
+  let esp = Vm.Machine.get_reg p.machine ESP in
+  Shadow.set_range s.shadow esp
+    (Osim.Kernel.stack_top - esp)
+    (Taint.Tagset.singleton Taint.Source.User_input)
+
+let on_image_load t (p : Osim.Process.t) (img : Binary.Image.t) =
+  let s = state_of t p.machine in
+  let tag = imm_tag t img.path in
+  List.iter
+    (fun (sec : Binary.Section.t) ->
+      Shadow.set_range s.shadow sec.addr (Binary.Section.size sec) tag)
+    img.sections;
+  List.iter
+    (fun (e : Binary.Symbol.export) ->
+      if
+        List.exists
+          (fun (spec : Shortcircuit.spec) ->
+            String.equal spec.routine e.sym_name)
+          t.cfg.shortcircuit
+      then Hashtbl.replace t.routines e.sym_addr e.sym_name)
+    img.exports
+
+let on_fork t ~(parent : Osim.Process.t) ~(child : Osim.Process.t) =
+  let ps = state_of t parent.machine in
+  let cs =
+    { pid = child.pid; shadow = Shadow.clone ps.shadow;
+      sc = Shortcircuit.clone ps.sc; pending_origin = ps.pending_origin }
+  in
+  (* the child's eax holds fork's result, written by the kernel *)
+  Shadow.set_reg cs.shadow EAX Taint.Tagset.empty;
+  t.pmap <- (child.machine, cs) :: t.pmap;
+  Freq.inherit_from t.freq ~parent:parent.pid ~child:child.pid;
+  Resources.inherit_from t.resources ~parent:parent.pid ~child:child.pid
+
+let file_resource name origin : Events.resource =
+  { r_kind = Events.R_file; r_name = name; r_origin = origin }
+
+let sock_resource name origin : Events.resource =
+  { r_kind = Events.R_socket; r_name = name; r_origin = origin }
+
+let on_pre_syscall t (p : Osim.Process.t) (sc : Osim.Syscall.t) =
+  let s = state_of t p.machine in
+  let m = p.machine in
+  let pid = s.pid in
+  match sc with
+  | Execve { path_addr; path; argv } ->
+    let origin = string_origin s m path_addr in
+    emit t (Events.Exec { path = file_resource path origin; argv;
+                          meta = meta t s })
+  | Fork ->
+    let now = Osim.Kernel.ticks t.kernel in
+    t.clone_times <-
+      now :: List.filter (fun tm -> now - tm <= t.cfg.clone_window)
+               t.clone_times;
+    emit t
+      (Events.Clone
+         { total = Osim.Kernel.clone_total t.kernel + 1;
+           recent = List.length t.clone_times;
+           window = t.cfg.clone_window; meta = meta t s })
+  | Open { path_addr; path; _ } | Creat { path_addr; path } ->
+    let origin = string_origin s m path_addr in
+    s.pending_origin <- Some origin;
+    emit t
+      (Events.Access
+         { call = Osim.Syscall.name sc; res = file_resource path origin;
+           meta = meta t s })
+  | Connect { addr_ptr; addr_name; _ } ->
+    (* the address identity is the 4 IP bytes; the port word often mixes
+       in immediate (BINARY) tags that would drown a user-given host *)
+    let origin = Shadow.range s.shadow addr_ptr 4 in
+    s.pending_origin <- Some origin;
+    emit t
+      (Events.Access
+         { call = "SYS_connect"; res = sock_resource addr_name origin;
+           meta = meta t s })
+  | Bind { fd; addr_ptr; port } ->
+    let origin = Shadow.range s.shadow addr_ptr 4 in
+    let local = Fmt.str "LocalHost:%d" port in
+    Resources.bind_origin t.resources ~pid ~fd origin local;
+    emit t
+      (Events.Access
+         { call = "SYS_bind"; res = sock_resource local origin;
+           meta = meta t s })
+  | Brk { addr } ->
+    if addr <> 0 then
+      emit t
+        (Events.Alloc
+           { requested = addr;
+             total = max 0 (addr - Osim.Process.initial_brk);
+             meta = meta t s })
+    else Osim.Kernel.Allow
+  | Write { fd; res; buf; len; _ } ->
+    let data =
+      if t.cfg.track_dataflow then Shadow.range s.shadow buf len
+      else Taint.Tagset.empty
+    in
+    let head =
+      match Vm.Machine.read_bytes m buf (min len 8) with
+      | exception Vm.Machine.Fault_exn _ -> ""
+      | h -> h
+    in
+    let target = Resources.resource_of t.resources ~pid ~fd ~fallback:res in
+    let via_server = Resources.server_of t.resources ~pid ~fd in
+    let sources =
+      List.map
+        (fun src ->
+          let origin =
+            match Taint.Source.resource_name src with
+            | Some name ->
+              (match Hashtbl.find_opt t.name_origins name with
+               | Some o -> o
+               | None -> Taint.Tagset.empty)
+            | None -> Taint.Tagset.empty
+          in
+          src, origin)
+        (Taint.Tagset.to_list data)
+    in
+    emit t
+      (Events.Transfer
+         { call = "SYS_write"; data; head; sources; target; via_server;
+           len; meta = meta t s })
+  | Read _ | Close _ | Exit _ | Time | Getpid | Dup _ | Nanosleep _
+  | Socket | Listen _ | Accept _ | Unknown _ -> Osim.Kernel.Allow
+
+let on_post_syscall t (p : Osim.Process.t) (sc : Osim.Syscall.t) ~result =
+  let s = state_of t p.machine in
+  let pid = s.pid in
+  (* the syscall result in eax was written by the kernel *)
+  Shadow.set_reg s.shadow EAX Taint.Tagset.empty;
+  match sc with
+  | Read { buf; res; _ } when result > 0 && t.cfg.track_dataflow ->
+    let tag =
+      match res with
+      | Osim.Syscall.R_stdin ->
+        Taint.Tagset.singleton Taint.Source.User_input
+      | R_file path -> Taint.Tagset.singleton (Taint.Source.File path)
+      | R_sock { sr_peer = Some peer; _ } ->
+        Taint.Tagset.singleton (Taint.Source.Socket peer)
+      | R_sock _ -> Taint.Tagset.singleton (Taint.Source.Socket "remote")
+      | R_stdout | R_stderr | R_unknown -> Taint.Tagset.empty
+    in
+    Shadow.set_range s.shadow buf result tag
+  | Read _ -> ()
+  | (Open { path; _ } | Creat { path; _ }) when result >= 0 ->
+    let origin =
+      Option.value s.pending_origin ~default:Taint.Tagset.empty
+    in
+    s.pending_origin <- None;
+    Hashtbl.replace t.name_origins path origin;
+    Resources.set t.resources ~pid ~fd:result
+      { e_kind = Events.R_file; e_name = path; e_origin = origin;
+        e_server_side = false; e_server = None }
+  | Connect { fd; addr_name; _ } when result = 0 ->
+    let origin =
+      Option.value s.pending_origin ~default:Taint.Tagset.empty
+    in
+    s.pending_origin <- None;
+    Hashtbl.replace t.name_origins addr_name origin;
+    Resources.set t.resources ~pid ~fd
+      { e_kind = Events.R_socket; e_name = addr_name; e_origin = origin;
+        e_server_side = false; e_server = None }
+  | Accept { fd; port; peer; _ } when result >= 0 ->
+    let bound_origin, local =
+      match Resources.bound t.resources ~pid ~fd with
+      | Some (origin, local) -> origin, local
+      | None -> Taint.Tagset.empty, Fmt.str "LocalHost:%d" port
+    in
+    let peer_name = Option.value peer ~default:"remote" in
+    Hashtbl.replace t.name_origins peer_name bound_origin;
+    let server = sock_resource local bound_origin in
+    Resources.set t.resources ~pid ~fd:result
+      { e_kind = Events.R_socket; e_name = peer_name;
+        e_origin = Taint.Tagset.empty; e_server_side = true;
+        e_server = Some server };
+    emit_log_only t
+      (Events.Access
+         { call = "SYS_accept";
+           res = sock_resource peer_name Taint.Tagset.empty;
+           meta = meta t s })
+  | Dup { fd; _ } when result >= 0 ->
+    (match Resources.get t.resources ~pid ~fd with
+     | Some entry -> Resources.set t.resources ~pid ~fd:result entry
+     | None -> ())
+  | Close { fd; _ } -> Resources.remove t.resources ~pid ~fd
+  | Open _ | Creat _ | Connect _ | Accept _ | Dup _ | Execve _ | Exit _
+  | Fork | Write _ | Time | Getpid | Nanosleep _ | Brk _ | Socket
+  | Bind _ | Listen _ | Unknown _ -> ()
+
+let attach ?(config = default_config) kernel =
+  let t =
+    { cfg = config; kernel; freq = Freq.create ();
+      resources = Resources.create (); routines = Hashtbl.create 8;
+      name_origins = Hashtbl.create 32;
+      imm_tags = Hashtbl.create 8; pmap = []; cur = None; clone_times = [];
+      sink = (fun _ -> Osim.Kernel.Allow); log = []; count = 0 }
+  in
+  let hooks = Osim.Kernel.hooks kernel in
+  if config.track_dataflow || config.shortcircuit <> [] then
+    hooks.pre_insn <- hook_insn t;
+  if config.track_frequency then hooks.on_bb <- hook_bb t;
+  let mon = Osim.Kernel.monitor kernel in
+  mon.on_process_start <- on_process_start t;
+  mon.on_image_load <- on_image_load t;
+  mon.on_fork <- on_fork t;
+  mon.on_pre_syscall <- on_pre_syscall t;
+  mon.on_post_syscall <- (fun p sc ~result -> on_post_syscall t p sc ~result);
+  t
+
+let instrumentation_table =
+  [ "Information Flow", "Instruction",
+    "Data Flow (reg/mem, mem/mem, reg/reg)";
+    "Information Flow", "Instruction", "Hardware Information (CPUID)";
+    "Code Frequency", "Basic Block", "BB frequency";
+    "Execution Flow", "Instruction", "System Calls (execve)";
+    "Resource Abuse", "Instruction", "System Calls (clone)";
+    "Information Flow", "Instruction", "System Calls (IO read/write)";
+    "Information Flow", "Section", "Binary load";
+    "Information Flow", "Image", "Binary load";
+    "Information Flow", "Instruction", "Initial stack location";
+    "Information Flow", "Routine",
+    "'Short Circuit' Data Flow (gethostbyname)" ]

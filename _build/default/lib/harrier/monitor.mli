@@ -1,0 +1,46 @@
+(** Harrier: the run-time monitor (Section 7, Fig. 6).
+
+    [attach] wires the monitor into a kernel: it installs the machine
+    hooks (instruction dataflow, basic-block frequency) and the kernel
+    monitor callbacks (image loads, process starts, forks, syscalls).
+    Events are delivered to a {e sink} — Secpert in the full framework —
+    which may answer [Kill] to stop the offending process before the
+    system call executes. *)
+
+type config = {
+  track_dataflow : bool;  (** per-instruction taint (Section 7.3) *)
+  track_frequency : bool;  (** BB counting (Section 7.4) *)
+  shortcircuit : Shortcircuit.spec list;
+      (** library routines tracked atomically (Section 7.2) *)
+  clone_window : int;  (** ticks; clones within it count as "recent" *)
+}
+
+(** Everything on: dataflow, frequency, gethostbyname short-circuit,
+    a 3000-tick clone window. *)
+val default_config : config
+
+type t
+
+(** [attach ?config kernel] installs the monitor.  Call before
+    [Kernel.spawn]. *)
+val attach : ?config:config -> Osim.Kernel.t -> t
+
+val config : t -> config
+
+(** [set_sink t f] routes events to [f]; the decision of [f] is honoured
+    for events emitted {e before} a system call executes. *)
+val set_sink : t -> (Events.t -> Osim.Kernel.decision) -> unit
+
+(** [events t] is every event emitted so far, oldest first. *)
+val events : t -> Events.t list
+
+val event_count : t -> int
+
+(** [shadow_of_pid t pid] exposes a process's taint state (tests,
+    diagnostics). *)
+val shadow_of_pid : t -> int -> Shadow.t option
+
+(** Table 3 of the paper: (policy rule, instrumentation granularity,
+    information gathered), one row per instrumentation point this
+    monitor registers. *)
+val instrumentation_table : (string * string * string) list

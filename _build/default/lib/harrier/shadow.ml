@@ -1,0 +1,37 @@
+type t = {
+  regs : Taint.Tagset.t array;
+  mem : (int, Taint.Tagset.t) Hashtbl.t;
+}
+
+let create () =
+  { regs = Array.make Isa.Reg.count Taint.Tagset.empty;
+    mem = Hashtbl.create 1024 }
+
+let clone s = { regs = Array.copy s.regs; mem = Hashtbl.copy s.mem }
+
+let reg s r = s.regs.(Isa.Reg.index r)
+
+let set_reg s r tag = s.regs.(Isa.Reg.index r) <- tag
+
+let byte s addr =
+  match Hashtbl.find_opt s.mem addr with
+  | Some tag -> tag
+  | None -> Taint.Tagset.empty
+
+let set_byte s addr tag =
+  if Taint.Tagset.is_empty tag then Hashtbl.remove s.mem addr
+  else Hashtbl.replace s.mem addr tag
+
+let range s addr len =
+  let rec go i acc =
+    if i >= len then acc
+    else go (i + 1) (Taint.Tagset.union acc (byte s (addr + i)))
+  in
+  go 0 Taint.Tagset.empty
+
+let set_range s addr len tag =
+  for i = 0 to len - 1 do
+    set_byte s (addr + i) tag
+  done
+
+let tagged_bytes s = Hashtbl.length s.mem

@@ -1,0 +1,31 @@
+(** Shadow taint state for one process.
+
+    Every register carries one tag set; memory is tagged per byte
+    (sparsely — untagged bytes have the empty tag).  This is the
+    "Harrier Data Structures" box of Fig. 6 (Reg. DataFlow / Mem.
+    DataFlow). *)
+
+type t
+
+val create : unit -> t
+
+(** [clone s] deep-copies the shadow (fork). *)
+val clone : t -> t
+
+val reg : t -> Isa.Reg.t -> Taint.Tagset.t
+
+val set_reg : t -> Isa.Reg.t -> Taint.Tagset.t -> unit
+
+val byte : t -> int -> Taint.Tagset.t
+
+val set_byte : t -> int -> Taint.Tagset.t -> unit
+
+(** [range s addr len] is the union of the tags of [len] bytes. *)
+val range : t -> int -> int -> Taint.Tagset.t
+
+(** [set_range s addr len tag] tags [len] bytes with [tag]. *)
+val set_range : t -> int -> int -> Taint.Tagset.t -> unit
+
+(** [tagged_bytes s] is the number of bytes currently carrying a
+    non-empty tag (diagnostics / perf counters). *)
+val tagged_bytes : t -> int

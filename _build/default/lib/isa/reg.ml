@@ -1,0 +1,34 @@
+type t = EAX | EBX | ECX | EDX | ESI | EDI | EBP | ESP
+
+let count = 8
+
+let index = function
+  | EAX -> 0
+  | EBX -> 1
+  | ECX -> 2
+  | EDX -> 3
+  | ESI -> 4
+  | EDI -> 5
+  | EBP -> 6
+  | ESP -> 7
+
+let all = [ EAX; EBX; ECX; EDX; ESI; EDI; EBP; ESP ]
+
+let of_index i =
+  match List.nth_opt all i with
+  | Some r -> r
+  | None -> invalid_arg "Reg.of_index"
+
+let equal a b = index a = index b
+
+let name = function
+  | EAX -> "eax"
+  | EBX -> "ebx"
+  | ECX -> "ecx"
+  | EDX -> "edx"
+  | ESI -> "esi"
+  | EDI -> "edi"
+  | EBP -> "ebp"
+  | ESP -> "esp"
+
+let pp ppf r = Fmt.pf ppf "%%%s" (name r)

@@ -1,0 +1,23 @@
+(** General-purpose registers of the mini x86-like ISA.
+
+    The register file mirrors the 32-bit x86 registers the paper's examples
+    use ([mov %esp,%ebp], [add %ebx,%eax], [cpuid] writing
+    [%eax]..[%edx]). *)
+
+type t = EAX | EBX | ECX | EDX | ESI | EDI | EBP | ESP
+
+(** Number of registers; indices are dense in [0, count). *)
+val count : int
+
+(** [index r] is a dense index suitable for array-backed register files. *)
+val index : t -> int
+
+val of_index : int -> t
+
+val equal : t -> t -> bool
+
+val all : t list
+
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit

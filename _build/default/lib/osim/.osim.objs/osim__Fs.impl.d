@@ -1,0 +1,1 @@
+lib/osim/fs.ml: Binary Bytes Hashtbl List Option String

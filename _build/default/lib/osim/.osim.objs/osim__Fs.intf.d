@@ -1,0 +1,1 @@
+lib/osim/fs.mli: Binary Bytes

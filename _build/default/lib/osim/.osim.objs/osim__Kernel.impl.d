@@ -1,0 +1,1 @@
+lib/osim/kernel.ml: Abi Binary Buffer Fmt Fs List Logs Net Process String Syscall Vm

@@ -1,0 +1,1 @@
+lib/osim/kernel.mli: Binary Format Fs Net Process Syscall Vm

@@ -1,0 +1,1 @@
+lib/osim/net.ml: Buffer Bytes Fmt Int32 List String

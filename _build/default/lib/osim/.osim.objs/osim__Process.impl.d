@@ -1,0 +1,1 @@
+lib/osim/process.ml: Fmt Hashtbl Net Vm

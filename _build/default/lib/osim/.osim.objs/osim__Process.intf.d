@@ -1,0 +1,1 @@
+lib/osim/process.mli: Format Hashtbl Net Vm

@@ -1,0 +1,1 @@
+lib/osim/syscall.ml: Fmt

@@ -1,0 +1,57 @@
+type file = {
+  mutable data : Bytes.t;
+  mutable image : Binary.Image.t option;
+}
+
+type t = (string, file) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let install fs path data =
+  match Hashtbl.find_opt fs path with
+  | Some f -> f.data <- Bytes.of_string data
+  | None -> Hashtbl.replace fs path { data = Bytes.of_string data; image = None }
+
+let install_image fs (img : Binary.Image.t) =
+  Hashtbl.replace fs img.path { data = Bytes.empty; image = Some img }
+
+let exists fs path = Hashtbl.mem fs path
+
+let lookup fs path = Hashtbl.find_opt fs path
+
+let image_of fs path =
+  match lookup fs path with
+  | Some { image; _ } -> image
+  | None -> None
+
+let ensure fs path =
+  match lookup fs path with
+  | Some f -> f
+  | None ->
+    let f = { data = Bytes.empty; image = None } in
+    Hashtbl.replace fs path f;
+    f
+
+let size f = Bytes.length f.data
+
+let read_at f ~pos ~len =
+  if pos >= size f then ""
+  else
+    let len = min len (size f - pos) in
+    Bytes.sub_string f.data pos len
+
+let write_at f ~pos s =
+  let needed = pos + String.length s in
+  if needed > size f then begin
+    let grown = Bytes.make needed '\000' in
+    Bytes.blit f.data 0 grown 0 (size f);
+    f.data <- grown
+  end;
+  Bytes.blit_string s 0 f.data pos (String.length s)
+
+let truncate f = f.data <- Bytes.empty
+
+let contents fs path =
+  Option.map (fun f -> Bytes.to_string f.data) (lookup fs path)
+
+let paths fs = Hashtbl.fold (fun p _ acc -> p :: acc) fs [] |> List.sort compare

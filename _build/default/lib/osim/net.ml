@@ -1,0 +1,163 @@
+type step =
+  | Send of string
+  | Expect of int
+  | Close
+
+type actor = {
+  actor_host : string;
+  script : step list;
+}
+
+type sock_state =
+  | Fresh
+  | Bound of int
+  | Listening of int
+  | Connected of conn
+  | Closed
+
+and conn = {
+  peer : string;
+  local_name : string;
+  mutable inbox : string;
+  mutable sent : int;
+  mutable remaining : step list;
+  mutable remote_closed : bool;
+  server_side : bool;
+}
+
+type socket = { sock_id : int; mutable state : sock_state }
+
+type t = {
+  mutable dns : (string * int) list;
+  mutable servers : ((int * int) * actor) list;  (* (ip, port) -> actor *)
+  mutable incoming : (int * actor) list;  (* listening port -> clients *)
+  mutable sockets : socket list;
+  mutable next_sock : int;
+  mutable conns : conn list;
+  mutable next_ephemeral : int;
+}
+
+let create () =
+  { dns = []; servers = []; incoming = []; sockets = []; next_sock = 1;
+    conns = []; next_ephemeral = 36000 }
+
+let add_host t name ip = t.dns <- (name, ip) :: t.dns
+
+let resolve t name = List.assoc_opt name t.dns
+
+let host_of_ip t ip =
+  match List.find_opt (fun (_, i) -> i = ip) t.dns with
+  | Some (name, _) -> name
+  | None ->
+    Fmt.str "%d.%d.%d.%d" (ip land 0xFF) ((ip lsr 8) land 0xFF)
+      ((ip lsr 16) land 0xFF) ((ip lsr 24) land 0xFF)
+
+let hosts_db t =
+  let b = Buffer.create 64 in
+  List.iter
+    (fun (name, ip) ->
+      let padded =
+        if String.length name >= 16 then String.sub name 0 16
+        else name ^ String.make (16 - String.length name) '\000'
+      in
+      Buffer.add_string b padded;
+      let w = Bytes.create 4 in
+      Bytes.set_int32_le w 0 (Int32.of_int ip);
+      Buffer.add_bytes b w)
+    (List.rev t.dns);
+  Buffer.contents b
+
+let add_server t ~host ~port actor =
+  let ip =
+    match resolve t host with
+    | Some ip -> ip
+    | None -> failwith (Fmt.str "Net.add_server: unknown host %S" host)
+  in
+  t.servers <- ((ip, port), actor) :: t.servers
+
+let add_incoming t ~port actor = t.incoming <- t.incoming @ [ port, actor ]
+
+let new_socket t =
+  let s = { sock_id = t.next_sock; state = Fresh } in
+  t.next_sock <- t.next_sock + 1;
+  t.sockets <- s :: t.sockets;
+  s
+
+let socket_by_id t id = List.find_opt (fun s -> s.sock_id = id) t.sockets
+
+(* Advance the remote script as far as possible. *)
+let rec progress conn =
+  match conn.remaining with
+  | [] -> ()
+  | Send s :: rest ->
+    conn.inbox <- conn.inbox ^ s;
+    conn.remaining <- rest;
+    progress conn
+  | Expect n :: rest ->
+    if conn.sent >= n then begin
+      conn.sent <- conn.sent - n;
+      conn.remaining <- rest;
+      progress conn
+    end
+  | Close :: rest ->
+    conn.remote_closed <- true;
+    conn.remaining <- rest
+
+let make_conn t ~peer ~local_name ~script ~server_side =
+  let conn =
+    { peer; local_name; inbox = ""; sent = 0; remaining = script;
+      remote_closed = false; server_side }
+  in
+  t.conns <- conn :: t.conns;
+  progress conn;
+  conn
+
+let connect t sock ~ip ~port =
+  match List.assoc_opt (ip, port) t.servers with
+  | None -> None
+  | Some actor ->
+    let peer = Fmt.str "%s:%d" (host_of_ip t ip) port in
+    let local = Fmt.str "LocalHost:%d" t.next_ephemeral in
+    t.next_ephemeral <- t.next_ephemeral + 1;
+    let conn =
+      make_conn t ~peer ~local_name:local ~script:actor.script
+        ~server_side:false
+    in
+    sock.state <- Connected conn;
+    Some conn
+
+let accept t sock =
+  match sock.state with
+  | Listening port ->
+    let rec take acc = function
+      | [] -> None
+      | (p, actor) :: rest when p = port ->
+        t.incoming <- List.rev_append acc rest;
+        Some actor
+      | entry :: rest -> take (entry :: acc) rest
+    in
+    (match take [] t.incoming with
+     | None -> None
+     | Some actor ->
+       let peer = Fmt.str "%s:%d" actor.actor_host t.next_ephemeral in
+       t.next_ephemeral <- t.next_ephemeral + 1;
+       let local = Fmt.str "LocalHost:%d" port in
+       Some (make_conn t ~peer ~local_name:local ~script:actor.script
+               ~server_side:true))
+  | Fresh | Bound _ | Connected _ | Closed -> None
+
+let guest_send conn s =
+  conn.sent <- conn.sent + String.length s;
+  progress conn
+
+let guest_recv conn n =
+  let avail = String.length conn.inbox in
+  if avail = 0 then ""
+  else begin
+    let n = min n avail in
+    let chunk = String.sub conn.inbox 0 n in
+    conn.inbox <- String.sub conn.inbox n (avail - n);
+    chunk
+  end
+
+let conn_log t = List.rev_map (fun c -> c.peer, c.sent) t.conns

@@ -1,0 +1,77 @@
+type fd_kind =
+  | Std_in
+  | Std_out
+  | Std_err
+  | Fd_file of { path : string; mutable offset : int; flags : int }
+  | Fd_sock of Net.socket
+
+type run_state =
+  | Runnable
+  | Sleeping of int
+  | Waiting_io
+  | Exited of int
+  | Killed of string
+
+type t = {
+  pid : int;
+  mutable machine : Vm.Machine.t;
+  fds : (int, fd_kind) Hashtbl.t;
+  mutable next_fd : int;
+  mutable state : run_state;
+  mutable exe_path : string;
+  mutable argv : string list;
+  mutable pending : int option;
+  mutable brk : int;
+}
+
+(* initial program break: above the loaded images, below the stack *)
+let initial_brk = 0x70000
+
+let create ~pid ~machine ~exe_path ~argv =
+  { pid; machine; fds = Hashtbl.create 8; next_fd = 3; state = Runnable;
+    exe_path; argv; pending = None; brk = initial_brk }
+
+let with_std_fds p =
+  Hashtbl.replace p.fds 0 Std_in;
+  Hashtbl.replace p.fds 1 Std_out;
+  Hashtbl.replace p.fds 2 Std_err;
+  p
+
+let alloc_fd p kind =
+  let fd = p.next_fd in
+  p.next_fd <- fd + 1;
+  Hashtbl.replace p.fds fd kind;
+  fd
+
+let fd p n = Hashtbl.find_opt p.fds n
+
+let close_fd p n =
+  if Hashtbl.mem p.fds n then begin
+    Hashtbl.remove p.fds n;
+    true
+  end
+  else false
+
+let copy_fds ~src ~dst =
+  Hashtbl.iter
+    (fun n kind ->
+      let kind' =
+        match kind with
+        | Fd_file { path; offset; flags } -> Fd_file { path; offset; flags }
+        | (Std_in | Std_out | Std_err | Fd_sock _) as k -> k
+      in
+      Hashtbl.replace dst.fds n kind')
+    src.fds;
+  dst.next_fd <- src.next_fd
+
+let is_live p =
+  match p.state with
+  | Runnable | Sleeping _ | Waiting_io -> true
+  | Exited _ | Killed _ -> false
+
+let pp_state ppf = function
+  | Runnable -> Fmt.string ppf "runnable"
+  | Sleeping t -> Fmt.pf ppf "sleeping(until=%d)" t
+  | Waiting_io -> Fmt.string ppf "waiting-io"
+  | Exited c -> Fmt.pf ppf "exited(%d)" c
+  | Killed why -> Fmt.pf ppf "killed(%s)" why

@@ -1,0 +1,50 @@
+(** Processes: a machine plus kernel-side state (fd table, run state). *)
+
+type fd_kind =
+  | Std_in
+  | Std_out
+  | Std_err
+  | Fd_file of { path : string; mutable offset : int; flags : int }
+  | Fd_sock of Net.socket
+
+type run_state =
+  | Runnable
+  | Sleeping of int  (** absolute wake tick *)
+  | Waiting_io  (** blocked in a retried syscall *)
+  | Exited of int
+  | Killed of string  (** fault, policy kill or deadlock reap *)
+
+type t = {
+  pid : int;
+  mutable machine : Vm.Machine.t;  (** replaced wholesale by execve *)
+  fds : (int, fd_kind) Hashtbl.t;
+  mutable next_fd : int;
+  mutable state : run_state;
+  mutable exe_path : string;
+  mutable argv : string list;
+  mutable pending : int option;  (** retried syscall number, if blocked *)
+  mutable brk : int;  (** current program break (heap end) *)
+}
+
+(** Initial program break for every process (the heap base). *)
+val initial_brk : int
+
+val create : pid:int -> machine:Vm.Machine.t -> exe_path:string ->
+  argv:string list -> t
+
+(** [with_std_fds p] installs fds 0, 1, 2. *)
+val with_std_fds : t -> t
+
+val alloc_fd : t -> fd_kind -> int
+
+val fd : t -> int -> fd_kind option
+
+val close_fd : t -> int -> bool
+
+(** [copy_fds ~src ~dst] duplicates the descriptor table for fork: file
+    entries get independent offsets, sockets are shared. *)
+val copy_fds : src:t -> dst:t -> unit
+
+val is_live : t -> bool
+
+val pp_state : Format.formatter -> run_state -> unit

@@ -1,0 +1,1 @@
+lib/secpert/secpert.ml: Context Facts Policy_clips Policy_exec Policy_flow Policy_resource Severity System Trust Warning

@@ -1,0 +1,1 @@
+lib/secpert/context.ml: Trust Warning

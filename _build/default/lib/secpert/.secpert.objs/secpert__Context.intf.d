@@ -1,0 +1,1 @@
+lib/secpert/context.mli: Trust Warning

@@ -1,0 +1,1 @@
+lib/secpert/facts.ml: Engine Expert Fact Fmt Harrier List Option Pattern Taint Template Trust Value

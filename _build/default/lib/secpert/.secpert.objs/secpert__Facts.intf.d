@@ -1,0 +1,1 @@
+lib/secpert/facts.mli: Expert Harrier Taint Trust

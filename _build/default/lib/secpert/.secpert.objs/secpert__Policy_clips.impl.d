@@ -1,0 +1,1 @@
+lib/secpert/policy_clips.ml: Clips Context Engine Expert List Option Policy_flow Severity String Taint Trust Value Warning

@@ -1,0 +1,1 @@
+lib/secpert/policy_clips.mli: Context Expert

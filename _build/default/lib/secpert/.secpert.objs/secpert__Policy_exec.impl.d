@@ -1,0 +1,1 @@
+lib/secpert/policy_exec.ml: Context Engine Expert Facts Fmt Pattern Severity Value Warning

@@ -1,0 +1,1 @@
+lib/secpert/policy_exec.mli: Context Expert

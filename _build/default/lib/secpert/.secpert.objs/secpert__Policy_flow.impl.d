@@ -1,0 +1,1 @@
+lib/secpert/policy_flow.ml: Buffer Context Engine Expert Facts Fmt List Pattern Severity String Taint Trust Warning

@@ -1,0 +1,1 @@
+lib/secpert/policy_flow.mli: Context Expert

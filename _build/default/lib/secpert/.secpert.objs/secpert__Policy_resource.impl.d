@@ -1,0 +1,1 @@
+lib/secpert/policy_resource.ml: Context Engine Expert Facts Fmt Pattern Severity Warning

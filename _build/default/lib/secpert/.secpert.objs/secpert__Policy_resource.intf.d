@@ -1,0 +1,1 @@
+lib/secpert/policy_resource.mli: Context Expert

@@ -1,0 +1,1 @@
+lib/secpert/severity.ml: Fmt Int

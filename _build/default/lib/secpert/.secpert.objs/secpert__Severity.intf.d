@@ -1,0 +1,1 @@
+lib/secpert/severity.mli: Format

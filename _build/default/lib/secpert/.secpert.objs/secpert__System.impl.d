@@ -1,0 +1,1 @@
+lib/secpert/system.ml: Context Expert Facts Harrier List Osim Policy_clips Policy_exec Policy_flow Policy_resource Severity Trust Warning

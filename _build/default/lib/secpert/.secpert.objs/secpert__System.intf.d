@@ -1,0 +1,1 @@
+lib/secpert/system.mli: Context Expert Harrier Osim Severity Trust Warning

@@ -1,0 +1,1 @@
+lib/secpert/trust.mli: Taint

@@ -1,0 +1,1 @@
+lib/secpert/warning.ml: Fmt Hashtbl List Severity

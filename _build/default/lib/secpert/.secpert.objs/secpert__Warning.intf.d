@@ -1,0 +1,1 @@
+lib/secpert/warning.mli: Format Severity

@@ -1,0 +1,25 @@
+(** The complete Secpert policy in textual CLIPS syntax.
+
+    The paper implemented Secpert directly in CLIPS; this module carries
+    the same policy as rule text for the {!Expert.Clips} loader, as an
+    alternative to the native OCaml rules.  Transfers are matched
+    through the flattened encoding ({!Facts.assert_event_full}): one
+    [transfer_source] fact per data source, joined to its
+    [data_transfer] fact on the [xfer] slot — which exercises the
+    engine's multi-pattern joins exactly the way CLIPS policies do.
+
+    Host functions the policy calls (installed by {!install}):
+    - [(warn rule severity pid time rare part...)] — emit a warning;
+    - [(rarely freq time)] — the Low→Medium reinforcement test;
+    - [(trusted-source type name)] — the trust database;
+    - [(looks-executable head)] — content analysis.
+
+    Severities agree with the native policy on every corpus scenario
+    (verified by the equivalence tests); warning {e texts} are terser. *)
+
+(** The policy source text. *)
+val text : string
+
+(** [install engine ctx] registers the host functions, sets the
+    threshold globals from [ctx] and loads {!text}. *)
+val install : Expert.Engine.t -> Context.t -> unit

@@ -1,0 +1,9 @@
+(** Execution-flow rules (Section 4.1).
+
+    - an [execve] whose program name is hard-coded warns Low;
+    - hard-coded {e and} rarely-executed code warns Medium;
+    - a program name that originated from a socket warns High;
+    - names given by the user warn nothing. *)
+
+(** [register engine ctx] installs the rules. *)
+val register : Expert.Engine.t -> Context.t -> unit

@@ -1,0 +1,24 @@
+(** Information-flow rules (Section 4.3).
+
+    Evaluated on every [data_transfer] fact (a write/send).  For each
+    data source flowing into the target, a severity is derived from the
+    combination of (source type, origin of the source's name) and
+    (target type, origin of the target's name):
+
+    - hard-coded data written to a hard-coded file is the classic dropper
+      signature — High;
+    - hardware-derived data into a hard-coded file — High;
+    - file/socket flows where {e both} resource names are hard-coded —
+      High; exactly one hard-coded — Low; both user-given — silent;
+    - user input exfiltrated to a hard-coded socket — Low;
+    - writes through an {e accepted} connection whose listening address
+      was hard-coded escalate to High (the pma backdoor pattern);
+    - sources rooted in trusted binaries are filtered out.
+
+    Writes to stdio are never warned about. *)
+
+val register : Expert.Engine.t -> Context.t -> unit
+
+(** [looks_executable head] is the content-analysis magic check
+    (MZ / ELF / shebang), shared with the textual CLIPS policy. *)
+val looks_executable : string -> bool

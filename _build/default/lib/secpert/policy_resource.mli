@@ -1,0 +1,9 @@
+(** Resource-abuse rules (Section 4.2).
+
+    - many processes created over the run warns Low;
+    - a high {e rate} of process creation (many clones inside the
+      monitor's window) warns Medium;
+    - a process holding a large heap (memory abuse, the paper's future
+      work item 4) warns Low, then Medium. *)
+
+val register : Expert.Engine.t -> Context.t -> unit

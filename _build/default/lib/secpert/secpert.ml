@@ -1,0 +1,16 @@
+(** Secpert: the security expert system (Section 6, Fig. 2).
+
+    This is the library facade.  {!System} is the runnable instance
+    (engine + policy + trust); the submodules expose the pieces for
+    custom policies and tests. *)
+
+module Severity = Severity
+module Warning = Warning
+module Trust = Trust
+module Context = Context
+module Facts = Facts
+module Policy_exec = Policy_exec
+module Policy_resource = Policy_resource
+module Policy_flow = Policy_flow
+module Policy_clips = Policy_clips
+module System = System

@@ -1,0 +1,19 @@
+type t = Low | Medium | High
+
+let rank = function Low -> 0 | Medium -> 1 | High -> 2
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let equal a b = rank a = rank b
+
+let ( >= ) a b = rank a >= rank b
+
+let label = function Low -> "LOW" | Medium -> "MEDIUM" | High -> "HIGH"
+
+let of_label = function
+  | "LOW" -> Some Low
+  | "MEDIUM" -> Some Medium
+  | "HIGH" -> Some High
+  | _ -> None
+
+let pp ppf t = Fmt.string ppf (label t)

@@ -1,0 +1,19 @@
+(** Warning severity (Section 4): Low, Medium or High, graded by the
+    policy's confidence that the observed behaviour is malicious. *)
+
+type t = Low | Medium | High
+
+(** Total order: [Low < Medium < High]. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val ( >= ) : t -> t -> bool
+
+(** [label s] is the paper's bracket text: ["LOW"], ["MEDIUM"],
+    ["HIGH"]. *)
+val label : t -> string
+
+val of_label : string -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type policy = Native | Clips
+
+type t = {
+  engine : Expert.Engine.t;
+  trust : Trust.t;
+  policy : policy;
+  auto_kill : Severity.t option;
+  mutable warnings : Warning.t list;  (* newest first *)
+  mutable count : int;
+}
+
+let create ?(trust = Trust.default)
+    ?(thresholds = Context.default_thresholds) ?auto_kill
+    ?(policy = Native) () =
+  let engine = Expert.Engine.create () in
+  Facts.deftemplates engine;
+  let t = { engine; trust; policy; auto_kill; warnings = []; count = 0 } in
+  let ctx =
+    { Context.trust; thresholds;
+      warn =
+        (fun w ->
+          t.warnings <- w :: t.warnings;
+          t.count <- t.count + 1) }
+  in
+  (match policy with
+   | Native ->
+     Policy_exec.register engine ctx;
+     Policy_resource.register engine ctx;
+     Policy_flow.register engine ctx
+   | Clips -> Policy_clips.install engine ctx);
+  t
+
+let trust t = t.trust
+
+let engine t = t.engine
+
+let handle_event t event =
+  let before = t.count in
+  let facts =
+    match t.policy with
+    | Native -> [ Facts.assert_event t.engine t.trust event ]
+    | Clips -> Facts.assert_event_full t.engine t.trust event
+  in
+  ignore (Expert.Engine.run t.engine);
+  List.iter (Expert.Engine.retract t.engine) facts;
+  let fresh =
+    let n = t.count - before in
+    List.filteri (fun i _ -> i < n) t.warnings
+  in
+  match t.auto_kill with
+  | Some threshold
+    when List.exists (fun w -> Severity.(w.Warning.severity >= threshold))
+           fresh -> Osim.Kernel.Kill
+  | Some _ | None -> Osim.Kernel.Allow
+
+let attach t monitor = Harrier.Monitor.set_sink monitor (handle_event t)
+
+let warnings t = List.rev t.warnings
+
+let distinct_warnings t = Warning.dedup (warnings t)
+
+let warning_count t = t.count
+
+let max_severity t = Warning.max_severity t.warnings

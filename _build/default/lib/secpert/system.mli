@@ -1,0 +1,52 @@
+(** The Secpert system instance (Section 6).
+
+    Wraps the generic {!Expert.Engine} with the three policy rule
+    families, the trust database and the event-to-fact encoding.  Attach
+    it to a Harrier monitor: every event is asserted as a fact, the
+    engine runs to quiescence, warnings are collected, and the fact is
+    retracted (the prototype analyzes one event at a time, as in the
+    paper's single-session policy). *)
+
+type t
+
+(** Which implementation of the policy drives the engine: the native
+    OCaml rules, or the textual CLIPS policy of {!Policy_clips} (the
+    paper's own medium).  Both produce the same severities on the whole
+    corpus. *)
+type policy = Native | Clips
+
+(** [create ()] builds a Secpert instance.
+    [auto_kill] makes Secpert answer [Kill] for events that produced a
+    warning at or above the given severity — standing in for the paper's
+    interactive user saying "stop" (the run is unattended). *)
+val create :
+  ?trust:Trust.t ->
+  ?thresholds:Context.thresholds ->
+  ?auto_kill:Severity.t ->
+  ?policy:policy ->
+  unit ->
+  t
+
+val trust : t -> Trust.t
+
+val engine : t -> Expert.Engine.t
+
+(** [handle_event t e] runs the policy on one event and decides whether
+    the triggering system call may proceed. *)
+val handle_event : t -> Harrier.Events.t -> Osim.Kernel.decision
+
+(** [attach t monitor] routes the monitor's events through
+    [handle_event]. *)
+val attach : t -> Harrier.Monitor.t -> unit
+
+(** [warnings t] is every warning so far, oldest first. *)
+val warnings : t -> Warning.t list
+
+(** [distinct_warnings t] deduplicates repeats of the same rule firing
+    with identical text (fork bombs repeat thousands of times). *)
+val distinct_warnings : t -> Warning.t list
+
+val warning_count : t -> int
+
+(** [max_severity t] is the strongest warning so far. *)
+val max_severity : t -> Severity.t option

@@ -1,0 +1,37 @@
+type t = {
+  severity : Severity.t;
+  rule : string;
+  message : string;
+  pid : int;
+  time : int;
+  rare : bool;
+}
+
+let make ~severity ~rule ~pid ~time ?(rare = false) message =
+  { severity; rule; message; pid; time; rare }
+
+let pp ppf w =
+  Fmt.pf ppf "Warning [%a] %s%s" Severity.pp w.severity w.message
+    (if w.rare then "\n\tThis code is rarely executed..." else "")
+
+let to_string = Fmt.to_to_string pp
+
+let max_severity ws =
+  List.fold_left
+    (fun acc w ->
+      match acc with
+      | None -> Some w.severity
+      | Some s -> if Severity.(w.severity >= s) then Some w.severity else acc)
+    None ws
+
+let dedup ws =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun w ->
+      let key = w.rule, Severity.label w.severity, w.message in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    ws

@@ -1,0 +1,27 @@
+(** Warnings issued to the user. *)
+
+type t = {
+  severity : Severity.t;
+  rule : string;  (** the policy rule that fired *)
+  message : string;  (** paper-style body, possibly multi-line *)
+  pid : int;
+  time : int;
+  rare : bool;  (** "This code is rarely executed..." reinforcement *)
+}
+
+val make :
+  severity:Severity.t -> rule:string -> pid:int -> time:int -> ?rare:bool ->
+  string -> t
+
+(** [pp] renders the paper's format:
+    {v Warning [HIGH] Found Write call to ... v} *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** [max_severity ws] is the highest severity present, if any. *)
+val max_severity : t list -> Severity.t option
+
+(** [dedup ws] drops warnings identical in (rule, severity, message),
+    keeping first occurrences in order. *)
+val dedup : t list -> t list

@@ -1,0 +1,1 @@
+lib/taint/origin.ml: Fmt List String Tagset

@@ -1,0 +1,1 @@
+lib/taint/origin.mli: Format Source Tagset

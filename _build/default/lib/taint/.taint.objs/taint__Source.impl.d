@@ -1,0 +1,1 @@
+lib/taint/source.ml: Fmt Int String

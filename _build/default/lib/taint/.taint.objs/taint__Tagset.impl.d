@@ -1,0 +1,1 @@
+lib/taint/tagset.ml: Fmt List Set Source

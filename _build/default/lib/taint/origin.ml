@@ -1,0 +1,60 @@
+type kind =
+  | From_user
+  | From_file of string
+  | From_socket of string
+  | Hardcoded of string
+  | From_hardware
+  | Unknown
+
+let equal_kind a b =
+  match a, b with
+  | From_user, From_user | From_hardware, From_hardware | Unknown, Unknown ->
+    true
+  | From_file x, From_file y
+  | From_socket x, From_socket y
+  | Hardcoded x, Hardcoded y -> String.equal x y
+  | ( (From_user | From_file _ | From_socket _ | Hardcoded _ | From_hardware
+      | Unknown), _ ) -> false
+
+let pp_kind ppf = function
+  | From_user -> Fmt.string ppf "user"
+  | From_file f -> Fmt.pf ppf "file(%S)" f
+  | From_socket s -> Fmt.pf ppf "socket(%S)" s
+  | Hardcoded b -> Fmt.pf ppf "hardcoded(%S)" b
+  | From_hardware -> Fmt.string ppf "hardware"
+  | Unknown -> Fmt.string ppf "unknown"
+
+let kind_type_name = function
+  | From_user -> "USER_INPUT"
+  | From_file _ -> "FILE"
+  | From_socket _ -> "SOCKET"
+  | Hardcoded _ -> "BINARY"
+  | From_hardware -> "HARDWARE"
+  | Unknown -> "UNKNOWN"
+
+(* Severity-ordered: a name that arrived over a socket is the strongest
+   signal of remote direction, then hard-coded names, then file contents. *)
+let classify_all ~trusted tag =
+  let tag = Tagset.filter (fun s -> not (trusted s)) tag in
+  let sockets = List.map (fun s -> From_socket s) (Tagset.sockets tag) in
+  let binaries = List.map (fun b -> Hardcoded b) (Tagset.binaries tag) in
+  let files = List.map (fun f -> From_file f) (Tagset.files tag) in
+  let hw = if Tagset.has_hardware tag then [ From_hardware ] else [] in
+  let user = if Tagset.has_user_input tag then [ From_user ] else [] in
+  sockets @ binaries @ files @ hw @ user
+
+let classify ~trusted tag =
+  match classify_all ~trusted tag with [] -> Unknown | k :: _ -> k
+
+let combinations =
+  [ "USER_INPUT", None;
+    "FILE", Some "USER_INPUT";
+    "FILE", Some "FILE";
+    "FILE", Some "SOCKET";
+    "FILE", Some "BINARY";
+    "SOCKET", Some "USER_INPUT";
+    "SOCKET", Some "FILE";
+    "SOCKET", Some "SOCKET";
+    "SOCKET", Some "BINARY";
+    "BINARY", None;
+    "HARDWARE", None ]

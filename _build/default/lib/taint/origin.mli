@@ -1,0 +1,41 @@
+(** Resource-ID origin classification (Section 5.1, Table 2).
+
+    When a resource is accessed (a file opened, a socket connected, a
+    program executed) the policy needs to know where the resource {e name}
+    itself came from: was it hard-coded in a binary, typed by the user,
+    read from a file, or received over a socket?  The origin is computed
+    from the tag of the name's bytes. *)
+
+type kind =
+  | From_user  (** the name was given by the user *)
+  | From_file of string  (** the name was read from the given file *)
+  | From_socket of string  (** the name arrived over the given socket *)
+  | Hardcoded of string  (** the name is embedded in the given binary *)
+  | From_hardware  (** the name was produced by hardware *)
+  | Unknown  (** no provenance information (e.g. computed constants) *)
+
+val equal_kind : kind -> kind -> bool
+
+val pp_kind : Format.formatter -> kind -> unit
+
+(** The paper's type label for a kind: USER_INPUT, FILE, SOCKET, BINARY,
+    HARDWARE or UNKNOWN (footnote 4 allows UNKNOWN for prototypes). *)
+val kind_type_name : kind -> string
+
+(** [classify ~trusted tag] is the dominant origin of a resource name whose
+    bytes carry [tag].  Sources for which [trusted] holds are ignored (the
+    paper filters trusted binaries such as libc.so).  Dominance order —
+    chosen so that the most suspicious origin wins, mirroring the policy's
+    severity ordering: socket > untrusted binary > file > hardware >
+    user input > unknown. *)
+val classify : trusted:(Source.t -> bool) -> Tagset.t -> kind
+
+(** [classify_all ~trusted tag] is every applicable origin kind, most
+    suspicious first; [classify] is its head. *)
+val classify_all : trusted:(Source.t -> bool) -> Tagset.t -> kind list
+
+(** [combinations] enumerates the legal (data source type, resource-ID
+    origin type) pairs of Table 2: USER_INPUT, BINARY and HARDWARE data
+    carry no resource ID, while FILE and SOCKET data have names that may
+    originate from USER_INPUT, FILE, SOCKET or BINARY. *)
+val combinations : (string * string option) list

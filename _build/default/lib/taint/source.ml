@@ -1,0 +1,40 @@
+type t =
+  | User_input
+  | File of string
+  | Socket of string
+  | Binary of string
+  | Hardware
+
+let rank = function
+  | User_input -> 0
+  | File _ -> 1
+  | Socket _ -> 2
+  | Binary _ -> 3
+  | Hardware -> 4
+
+let compare a b =
+  match a, b with
+  | User_input, User_input | Hardware, Hardware -> 0
+  | File x, File y | Socket x, Socket y | Binary x, Binary y ->
+    String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let type_name = function
+  | User_input -> "USER_INPUT"
+  | File _ -> "FILE"
+  | Socket _ -> "SOCKET"
+  | Binary _ -> "BINARY"
+  | Hardware -> "HARDWARE"
+
+let resource_name = function
+  | User_input | Hardware -> None
+  | File n | Socket n | Binary n -> Some n
+
+let pp ppf t =
+  match resource_name t with
+  | None -> Fmt.string ppf (type_name t)
+  | Some n -> Fmt.pf ppf "%s(%S)" (type_name t) n
+
+let to_string = Fmt.to_to_string pp

@@ -1,0 +1,32 @@
+(** Data sources (Section 5.1 of the paper).
+
+    HTH maintains more than a single taint bit: every register and memory
+    byte is tagged with a {e set} of data sources.  A source records both
+    the resource {e type} and, where applicable, the resource {e name}, so
+    the policy can distinguish trusted resources and report precise
+    provenance to the user. *)
+
+type t =
+  | User_input  (** data typed by the user: stdin, argv, environment *)
+  | File of string  (** data read from the named file *)
+  | Socket of string  (** data received from the named peer address *)
+  | Binary of string
+      (** data embedded in the named loaded image (hard-coded values) *)
+  | Hardware  (** data produced by hardware, e.g. the [cpuid] instruction *)
+
+(** Total order, used to store sources in sets. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** [type_name s] is the paper's resource-type label for [s]:
+    ["USER_INPUT"], ["FILE"], ["SOCKET"], ["BINARY"] or ["HARDWARE"]. *)
+val type_name : t -> string
+
+(** [resource_name s] is the resource identifier carried by [s], if any
+    (file path, socket address or image path). *)
+val resource_name : t -> string option
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,37 @@
+module S = Set.Make (Source)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let singleton = S.singleton
+let of_list = S.of_list
+let to_list = S.elements
+let add = S.add
+let union = S.union
+let mem = S.mem
+let equal = S.equal
+let compare = S.compare
+let cardinal = S.cardinal
+let exists = S.exists
+let filter = S.filter
+let fold = S.fold
+
+let has_user_input t = S.mem User_input t
+let has_hardware t = S.mem Hardware t
+
+let select f t = S.fold (fun s acc -> match f s with Some x -> x :: acc | None -> acc) t []
+
+let binaries t =
+  select (function Source.Binary n -> Some n | _ -> None) t |> List.rev
+
+let files t =
+  select (function Source.File n -> Some n | _ -> None) t |> List.rev
+
+let sockets t =
+  select (function Source.Socket n -> Some n | _ -> None) t |> List.rev
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>{%a}@]" Fmt.(list ~sep:(any ", ") Source.pp) (to_list t)
+
+let to_string = Fmt.to_to_string pp

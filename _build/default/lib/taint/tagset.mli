@@ -1,0 +1,60 @@
+(** Sets of data sources.
+
+    A tag is the set of data sources that contributed to a value.  Data
+    producing instructions assign the destination the {e union} of the
+    sources of their operands (Section 7.3.1): after [add %ebx, %eax] the
+    tag of [%eax] is the union of the tags of [%ebx] and [%eax]. *)
+
+type t
+
+(** The empty tag: a value with no known external provenance. *)
+val empty : t
+
+val is_empty : t -> bool
+
+val singleton : Source.t -> t
+
+val of_list : Source.t list -> t
+
+val to_list : t -> Source.t list
+
+val add : Source.t -> t -> t
+
+(** [union a b] combines provenance, as performed by every data-producing
+    instruction on its operand tags. *)
+val union : t -> t -> t
+
+val mem : Source.t -> t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val cardinal : t -> int
+
+(** [exists p t] is true iff some source in [t] satisfies [p]. *)
+val exists : (Source.t -> bool) -> t -> bool
+
+val filter : (Source.t -> bool) -> t -> t
+
+val fold : (Source.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Convenience interrogations used throughout the policy. *)
+
+val has_user_input : t -> bool
+
+val has_hardware : t -> bool
+
+(** [binaries t] is the list of image names appearing as BINARY sources. *)
+val binaries : t -> string list
+
+(** [files t] is the list of file names appearing as FILE sources. *)
+val files : t -> string list
+
+(** [sockets t] is the list of peer addresses appearing as SOCKET
+    sources. *)
+val sockets : t -> string list
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

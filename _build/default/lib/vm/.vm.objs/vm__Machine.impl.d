@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Binary Bytes Char Fmt Int32 Isa List String

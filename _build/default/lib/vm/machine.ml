@@ -1,0 +1,315 @@
+type fault =
+  | Bad_fetch of int
+  | Bad_access of int
+  | Div_by_zero
+
+type status = Running | Halted | Faulted of fault
+
+type segment = {
+  seg_base : int;
+  seg_insns : Isa.Insn.t array;
+  seg_image : string;
+  seg_kind : Binary.Image.kind;
+}
+
+type t = {
+  regs : int array;
+  mutable eip : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable lt : bool;
+  mem : Bytes.t;
+  mutable segs : segment list;
+  mutable status : status;
+  mutable at_bb_start : bool;
+  h : hooks;
+}
+
+and hooks = {
+  mutable pre_insn : t -> int -> Isa.Insn.t -> unit;
+  mutable on_bb : t -> int -> unit;
+}
+
+let no_hooks () =
+  { pre_insn = (fun _ _ _ -> ()); on_bb = (fun _ _ -> ()) }
+
+let mem_size = 0x100000
+
+exception Fault_exn of fault
+
+let create ?hooks () =
+  let h = match hooks with Some h -> h | None -> no_hooks () in
+  { regs = Array.make Isa.Reg.count 0; eip = 0; zf = false; sf = false;
+    lt = false; mem = Bytes.make mem_size '\000'; segs = []; status = Running;
+    at_bb_start = true; h }
+
+let hooks m = m.h
+
+let clone m =
+  { regs = Array.copy m.regs; eip = m.eip; zf = m.zf; sf = m.sf; lt = m.lt;
+    mem = Bytes.copy m.mem; segs = m.segs; status = m.status;
+    at_bb_start = m.at_bb_start; h = m.h }
+
+let status m = m.status
+let set_status m s = m.status <- s
+let eip m = m.eip
+
+let set_eip m a =
+  m.eip <- a;
+  m.at_bb_start <- true
+
+let get_reg m r = m.regs.(Isa.Reg.index r)
+let set_reg m r v = m.regs.(Isa.Reg.index r) <- v land 0xFFFFFFFF
+
+let check_addr addr =
+  if addr < 0 || addr >= mem_size then raise (Fault_exn (Bad_access addr))
+
+let read_byte m addr =
+  check_addr addr;
+  Char.code (Bytes.get m.mem addr)
+
+let write_byte m addr v =
+  check_addr addr;
+  Bytes.set m.mem addr (Char.chr (v land 0xFF))
+
+let read_word m addr =
+  check_addr addr;
+  check_addr (addr + 3);
+  Int32.to_int (Bytes.get_int32_le m.mem addr) land 0xFFFFFFFF
+
+let write_word m addr v =
+  check_addr addr;
+  check_addr (addr + 3);
+  Bytes.set_int32_le m.mem addr (Int32.of_int (v land 0xFFFFFFFF))
+
+let read_bytes m addr len =
+  check_addr addr;
+  if len > 0 then check_addr (addr + len - 1);
+  Bytes.sub_string m.mem addr len
+
+let write_string m addr s =
+  check_addr addr;
+  if String.length s > 0 then check_addr (addr + String.length s - 1);
+  Bytes.blit_string s 0 m.mem addr (String.length s)
+
+let read_cstring m addr =
+  check_addr addr;
+  let rec find i =
+    if i >= mem_size then i
+    else if Bytes.get m.mem i = '\000' then i
+    else find (i + 1)
+  in
+  let stop = find addr in
+  Bytes.sub_string m.mem addr (stop - addr)
+
+let map_image m (img : Binary.Image.t) =
+  m.segs <-
+    { seg_base = img.base; seg_insns = img.text; seg_image = img.path;
+      seg_kind = img.kind }
+    :: m.segs;
+  List.iter
+    (fun (s : Binary.Section.t) ->
+      write_string m s.addr (Bytes.to_string s.bytes))
+    img.sections
+
+let segments m = m.segs
+
+let segment_at m addr =
+  List.find_opt
+    (fun s -> addr >= s.seg_base && addr < s.seg_base + Array.length s.seg_insns)
+    m.segs
+
+let fetch m addr =
+  match segment_at m addr with
+  | Some s -> Some s.seg_insns.(addr - s.seg_base)
+  | None -> None
+
+let eff_addr m (r : Isa.Operand.mem_ref) =
+  let v = function None -> 0 | Some reg -> get_reg m reg in
+  (r.disp + v r.base + (v r.index * r.scale)) land 0xFFFFFFFF
+
+let read_operand m size op =
+  let mask v = match size with
+    | Isa.Insn.B -> v land 0xFF
+    | Isa.Insn.W -> v land 0xFFFFFFFF
+  in
+  match op with
+  | Isa.Operand.Imm n -> mask n
+  | Isa.Operand.Reg r -> mask (get_reg m r)
+  | Isa.Operand.Mem ref ->
+    let addr = eff_addr m ref in
+    (match size with
+     | Isa.Insn.B -> read_byte m addr
+     | Isa.Insn.W -> read_word m addr)
+
+let write_operand m size op v =
+  match op with
+  | Isa.Operand.Imm _ -> failwith "Machine: immediate destination"
+  | Isa.Operand.Reg r ->
+    (match size with
+     | Isa.Insn.B -> set_reg m r (v land 0xFF)
+     | Isa.Insn.W -> set_reg m r v)
+  | Isa.Operand.Mem ref ->
+    let addr = eff_addr m ref in
+    (match size with
+     | Isa.Insn.B -> write_byte m addr v
+     | Isa.Insn.W -> write_word m addr v)
+
+let sign32 v = if v land 0x80000000 <> 0 then v - 0x1_0000_0000 else v
+
+let set_flags m r =
+  let r = r land 0xFFFFFFFF in
+  m.zf <- r = 0;
+  m.sf <- r land 0x80000000 <> 0;
+  m.lt <- m.sf
+
+let cond_holds m = function
+  | Isa.Insn.Z -> m.zf
+  | Isa.Insn.NZ -> not m.zf
+  | Isa.Insn.L -> m.lt
+  | Isa.Insn.GE -> not m.lt
+  | Isa.Insn.LE -> m.lt || m.zf
+  | Isa.Insn.G -> not (m.lt || m.zf)
+  | Isa.Insn.S -> m.sf
+  | Isa.Insn.NS -> not m.sf
+
+type outcome =
+  | Continue
+  | Syscall of int
+  | Stopped of status
+
+let target_value m op = read_operand m Isa.Insn.W op
+
+let push m v =
+  let sp = get_reg m ESP - 4 in
+  set_reg m ESP sp;
+  write_word m sp v
+
+let pop m =
+  let sp = get_reg m ESP in
+  let v = read_word m sp in
+  set_reg m ESP (sp + 4);
+  v
+
+(* cpuid writes a fixed processor identity; the interesting part is that
+   the monitor tags the destination registers HARDWARE. *)
+let cpuid_values = (0x756E_6547, 0x4963_6E74, 0x6C65_746E, 0x0000_0F4A)
+
+let exec m insn =
+  let open Isa.Insn in
+  let next () = m.eip <- m.eip + 1 in
+  let alu f dst src =
+    let a = read_operand m W dst and b = read_operand m W src in
+    let r = f a b land 0xFFFFFFFF in
+    set_flags m r;
+    write_operand m W dst r;
+    next ()
+  in
+  match insn with
+  | Mov (sz, dst, src) ->
+    write_operand m sz dst (read_operand m sz src);
+    next ();
+    Continue
+  | Lea (r, ref) ->
+    set_reg m r (eff_addr m ref);
+    next ();
+    Continue
+  | Add (d, s) -> alu ( + ) d s; Continue
+  | Sub (d, s) -> alu ( - ) d s; Continue
+  | And (d, s) -> alu ( land ) d s; Continue
+  | Or (d, s) -> alu ( lor ) d s; Continue
+  | Xor (d, s) -> alu ( lxor ) d s; Continue
+  | Mul (d, s) -> alu ( * ) d s; Continue
+  | Div (d, s) ->
+    let b = read_operand m W s in
+    if b = 0 then raise (Fault_exn Div_by_zero);
+    alu (fun a b -> sign32 a / sign32 b) d s;
+    Continue
+  | Shl (d, s) -> alu (fun a b -> a lsl (b land 31)) d s; Continue
+  | Shr (d, s) -> alu (fun a b -> a lsr (b land 31)) d s; Continue
+  | Inc d -> alu (fun a _ -> a + 1) d (Imm 0); Continue
+  | Dec d -> alu (fun a _ -> a - 1) d (Imm 0); Continue
+  | Cmp (sz, a, b) ->
+    let x = read_operand m sz a and y = read_operand m sz b in
+    let sx, sy =
+      match sz with
+      | B -> x, y
+      | W -> sign32 x, sign32 y
+    in
+    m.zf <- sx = sy;
+    m.lt <- sx < sy;
+    m.sf <- m.lt;
+    next ();
+    Continue
+  | Test (a, b) ->
+    set_flags m (read_operand m W a land read_operand m W b);
+    next ();
+    Continue
+  | Push a ->
+    push m (read_operand m W a);
+    next ();
+    Continue
+  | Pop dst ->
+    let v = pop m in
+    write_operand m W dst v;
+    next ();
+    Continue
+  | Jmp t ->
+    m.eip <- target_value m t;
+    Continue
+  | Jcc (c, t) ->
+    if cond_holds m c then m.eip <- target_value m t else next ();
+    Continue
+  | Call t ->
+    let dest = target_value m t in
+    push m (m.eip + 1);
+    m.eip <- dest;
+    Continue
+  | Ret ->
+    m.eip <- pop m;
+    Continue
+  | Int n ->
+    next ();
+    Syscall n
+  | Cpuid ->
+    let a, b, c, d = cpuid_values in
+    set_reg m EAX a;
+    set_reg m EBX b;
+    set_reg m ECX c;
+    set_reg m EDX d;
+    next ();
+    Continue
+  | Nop ->
+    next ();
+    Continue
+  | Hlt ->
+    m.status <- Halted;
+    Stopped Halted
+
+let step m =
+  match m.status with
+  | (Halted | Faulted _) as s -> Stopped s
+  | Running ->
+    (match fetch m m.eip with
+     | None ->
+       m.status <- Faulted (Bad_fetch m.eip);
+       Stopped m.status
+     | Some insn ->
+       (try
+          if m.at_bb_start then m.h.on_bb m m.eip;
+          m.h.pre_insn m m.eip insn;
+          m.at_bb_start <- Isa.Insn.writes_control_flow insn;
+          exec m insn
+        with Fault_exn f ->
+          m.status <- Faulted f;
+          Stopped m.status))
+
+let pp_fault ppf = function
+  | Bad_fetch a -> Fmt.pf ppf "bad fetch at 0x%x" a
+  | Bad_access a -> Fmt.pf ppf "bad memory access at 0x%x" a
+  | Div_by_zero -> Fmt.string ppf "division by zero"
+
+let pp_status ppf = function
+  | Running -> Fmt.string ppf "running"
+  | Halted -> Fmt.string ppf "halted"
+  | Faulted f -> Fmt.pf ppf "faulted: %a" pp_fault f

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Asm Astring Binary Bytes Char Isa List Vm

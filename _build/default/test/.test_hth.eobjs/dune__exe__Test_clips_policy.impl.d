@@ -1,0 +1,1 @@
+test/test_clips_policy.ml: Alcotest Fmt Guest Harrier Hth List Secpert String Taint

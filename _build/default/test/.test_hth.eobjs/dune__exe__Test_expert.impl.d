@@ -1,0 +1,1 @@
+test/test_expert.ml: Alcotest Clips Engine Expert Fact List Pattern Sexp Template Value

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Asm Binary Guest Harrier Hth List Osim Secpert Taint

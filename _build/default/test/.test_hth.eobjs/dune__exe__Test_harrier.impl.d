@@ -1,0 +1,1 @@
+test/test_harrier.ml: Alcotest Array Asm Binary Guest Harrier Hth Isa List Osim Taint Vm

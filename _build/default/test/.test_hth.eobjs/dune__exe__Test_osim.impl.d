@@ -1,0 +1,1 @@
+test/test_osim.ml: Abi Alcotest Asm Astring Binary Bytes Char Fs Guest Int32 Kernel List Net Osim Process String Vm

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Binary Expert Fmt Fun Gen Harrier Hth Isa List Osim Printf QCheck QCheck_alcotest String Taint Test Vm

@@ -1,0 +1,1 @@
+test/test_secpert.ml: Alcotest Astring Expert Facts Fmt Harrier List Osim Secpert Severity System Taint Trust Warning

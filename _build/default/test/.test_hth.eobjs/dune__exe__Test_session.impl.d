@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Astring Binary Fmt Guest Harrier Hth List Osim Secpert String

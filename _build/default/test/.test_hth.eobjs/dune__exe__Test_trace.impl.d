@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Fmt Guest Harrier Hth List Secpert Taint

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Binary Isa List Machine Vm

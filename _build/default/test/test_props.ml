@@ -1,0 +1,428 @@
+(* Property-based tests (qcheck) on the core data structures and
+   invariants: tag sets, origin classification, values, s-expressions,
+   the machine's memory, the assembler/VM against a reference
+   interpreter, the filesystem, and engine refraction. *)
+
+open QCheck
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let source_gen =
+  let open Gen in
+  oneof
+    [ return Taint.Source.User_input;
+      return Taint.Source.Hardware;
+      map (fun n -> Taint.Source.File ("/f" ^ string_of_int n)) (int_bound 5);
+      map (fun n -> Taint.Source.Socket ("s" ^ string_of_int n)) (int_bound 5);
+      map (fun n -> Taint.Source.Binary ("/b" ^ string_of_int n))
+        (int_bound 5) ]
+
+let source = make ~print:Taint.Source.to_string source_gen
+
+let tagset_gen = Gen.map Taint.Tagset.of_list (Gen.list_size (Gen.int_bound 6) source_gen)
+
+let tagset = make ~print:Taint.Tagset.to_string tagset_gen
+
+let value_gen =
+  let open Gen in
+  sized @@ fix (fun self n ->
+      if n = 0 then
+        oneof
+          [ map (fun s -> Expert.Value.Sym ("s" ^ string_of_int s)) (int_bound 9);
+            map (fun s -> Expert.Value.Str (String.make (s mod 4) 'x')) (int_bound 9);
+            map (fun i -> Expert.Value.Int i) small_signed_int ]
+      else
+        frequency
+          [ 3, self 0;
+            1, map (fun l -> Expert.Value.Lst l)
+              (list_size (int_bound 3) (self (n / 2))) ])
+
+let value = make ~print:Expert.Value.to_string value_gen
+
+(* ------------------------------------------------------------------ *)
+(* Tag sets form a semilattice                                         *)
+
+let prop_union_commutes =
+  Test.make ~name:"tagset union commutes" ~count:200 (pair tagset tagset)
+    (fun (a, b) ->
+      Taint.Tagset.equal (Taint.Tagset.union a b) (Taint.Tagset.union b a))
+
+let prop_union_assoc =
+  Test.make ~name:"tagset union associates" ~count:200
+    (triple tagset tagset tagset) (fun (a, b, c) ->
+      Taint.Tagset.equal
+        (Taint.Tagset.union a (Taint.Tagset.union b c))
+        (Taint.Tagset.union (Taint.Tagset.union a b) c))
+
+let prop_union_idempotent =
+  Test.make ~name:"tagset union idempotent" ~count:200 tagset (fun a ->
+      Taint.Tagset.equal a (Taint.Tagset.union a a))
+
+let prop_union_monotone =
+  Test.make ~name:"union preserves membership" ~count:200
+    (pair tagset tagset) (fun (a, b) ->
+      Taint.Tagset.fold
+        (fun s acc -> acc && Taint.Tagset.mem s (Taint.Tagset.union a b))
+        a true)
+
+let prop_of_list_set_semantics =
+  Test.make ~name:"of_list deduplicates" ~count:200
+    (list_of_size (Gen.int_bound 8) source) (fun l ->
+      let t = Taint.Tagset.of_list l in
+      Taint.Tagset.cardinal t
+      = List.length (List.sort_uniq Taint.Source.compare l))
+
+(* ------------------------------------------------------------------ *)
+(* Origin classification dominance                                     *)
+
+let no_trust (_ : Taint.Source.t) = false
+
+let prop_origin_socket_dominates =
+  Test.make ~name:"a socket source always dominates classification"
+    ~count:200 tagset (fun t ->
+      match Taint.Tagset.sockets t with
+      | [] -> QCheck.assume_fail ()
+      | _ ->
+        (match Taint.Origin.classify ~trusted:no_trust t with
+         | Taint.Origin.From_socket _ -> true
+         | _ -> false))
+
+let prop_origin_empty_unknown =
+  Test.make ~name:"trusting everything yields Unknown" ~count:100 tagset
+    (fun t ->
+      Taint.Origin.classify ~trusted:(fun _ -> true) t
+      = Taint.Origin.Unknown)
+
+let prop_origin_classify_all_consistent =
+  Test.make ~name:"classify is the head of classify_all" ~count:200 tagset
+    (fun t ->
+      match Taint.Origin.classify_all ~trusted:no_trust t with
+      | [] -> Taint.Origin.classify ~trusted:no_trust t = Taint.Origin.Unknown
+      | k :: _ ->
+        Taint.Origin.equal_kind k
+          (Taint.Origin.classify ~trusted:no_trust t))
+
+(* ------------------------------------------------------------------ *)
+(* Expert values and s-expressions                                     *)
+
+let prop_value_compare_refl =
+  Test.make ~name:"value compare reflexive" ~count:200 value (fun v ->
+      Expert.Value.compare v v = 0 && Expert.Value.equal v v)
+
+let prop_value_compare_antisym =
+  Test.make ~name:"value compare antisymmetric" ~count:200
+    (pair value value) (fun (a, b) ->
+      let c = Expert.Value.compare a b and c' = Expert.Value.compare b a in
+      (c = 0) = (c' = 0) && (c > 0) = (c' < 0))
+
+let rec sexp_of_value (v : Expert.Value.t) : Expert.Sexp.t =
+  match v with
+  | Sym s -> Expert.Sexp.Atom s
+  | Str s -> Expert.Sexp.Quoted s
+  | Int n -> Expert.Sexp.Atom (string_of_int n)
+  | Lst l -> Expert.Sexp.List (List.map sexp_of_value l)
+
+let prop_sexp_roundtrip =
+  Test.make ~name:"sexp print/parse round trip" ~count:200 value (fun v ->
+      let s = sexp_of_value v in
+      let printed = Fmt.to_to_string Expert.Sexp.pp s in
+      Expert.Sexp.parse printed = s)
+
+(* ------------------------------------------------------------------ *)
+(* Machine memory                                                      *)
+
+let prop_word_roundtrip =
+  Test.make ~name:"machine word store/load round trip" ~count:200
+    (pair (int_bound 0xFFF0) (int_bound 0xFFFFFFF)) (fun (addr, v) ->
+      let m = Vm.Machine.create () in
+      Vm.Machine.write_word m addr v;
+      Vm.Machine.read_word m addr = v land 0xFFFFFFFF)
+
+let prop_string_roundtrip =
+  Test.make ~name:"machine string write/read round trip" ~count:200
+    (pair (int_bound 0xF000) string_printable) (fun (addr, s) ->
+      let m = Vm.Machine.create () in
+      Vm.Machine.write_string m addr s;
+      Vm.Machine.read_bytes m addr (String.length s) = s)
+
+(* ------------------------------------------------------------------ *)
+(* Random straight-line programs vs a reference interpreter            *)
+
+type rop = Radd | Rsub | Rxor | Rand | Ror | Rmul
+
+let rop_gen = Gen.oneofl [ Radd; Rsub; Rxor; Rand; Ror; Rmul ]
+
+let reference_step (a, b) (op, operand_is_b, k) =
+  let rhs = if operand_is_b then b else k in
+  let a' =
+    match op with
+    | Radd -> a + rhs
+    | Rsub -> a - rhs
+    | Rxor -> a lxor rhs
+    | Rand -> a land rhs
+    | Ror -> a lor rhs
+    | Rmul -> a * rhs
+  in
+  (a' land 0xFFFFFFFF), b
+
+let insn_of_step (op, operand_is_b, k) : Isa.Insn.t =
+  let src : Isa.Operand.t = if operand_is_b then Reg EBX else Imm k in
+  match op with
+  | Radd -> Add (Reg EAX, src)
+  | Rsub -> Sub (Reg EAX, src)
+  | Rxor -> Xor (Reg EAX, src)
+  | Rand -> And (Reg EAX, src)
+  | Ror -> Or (Reg EAX, src)
+  | Rmul -> Mul (Reg EAX, src)
+
+let program_gen =
+  Gen.(
+    triple (int_bound 0xFFFF) (int_bound 0xFFFF)
+      (list_size (int_bound 20)
+         (triple rop_gen bool (int_bound 0xFFFF))))
+
+let prop_machine_matches_reference =
+  Test.make ~name:"machine ALU agrees with reference interpreter"
+    ~count:300
+    (make
+       ~print:(fun (a, b, steps) ->
+         Printf.sprintf "eax=%d ebx=%d steps=%d" a b (List.length steps))
+       program_gen)
+    (fun (a0, b0, steps) ->
+      let expected, _ = List.fold_left reference_step (a0, b0) steps in
+      let insns = List.map insn_of_step steps @ [ Isa.Insn.Hlt ] in
+      let img =
+        Binary.Image.make ~path:"/p" ~kind:Binary.Image.Executable
+          ~base:0x1000 ~text:(Array.of_list insns) ~sections:[]
+          ~exports:[] ~relocs:[] ~needed:[] ~entry:0x1000
+      in
+      let m = Vm.Machine.create () in
+      Vm.Machine.map_image m img;
+      Vm.Machine.set_eip m 0x1000;
+      Vm.Machine.set_reg m EAX a0;
+      Vm.Machine.set_reg m EBX b0;
+      let rec go n =
+        if n > 100 then failwith "runaway"
+        else
+          match Vm.Machine.step m with
+          | Vm.Machine.Stopped _ -> ()
+          | _ -> go (n + 1)
+      in
+      go 0;
+      Vm.Machine.get_reg m EAX = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem                                                          *)
+
+let prop_fs_roundtrip =
+  Test.make ~name:"fs write_at/read_at round trip" ~count:200
+    (pair (int_bound 200) string_printable) (fun (pos, s) ->
+      let fs = Osim.Fs.create () in
+      let f = Osim.Fs.ensure fs "/x" in
+      Osim.Fs.write_at f ~pos s;
+      Osim.Fs.read_at f ~pos ~len:(String.length s) = s)
+
+(* ------------------------------------------------------------------ *)
+(* Shadow memory behaves like a per-byte map                           *)
+
+let prop_shadow_range_union =
+  Test.make ~name:"shadow range is the union of its bytes" ~count:100
+    (list_of_size (Gen.int_bound 6) (pair (int_bound 16) tagset))
+    (fun writes ->
+      let s = Harrier.Shadow.create () in
+      List.iter (fun (a, t) -> Harrier.Shadow.set_byte s a t) writes;
+      let expected =
+        List.fold_left
+          (fun acc a -> Taint.Tagset.union acc (Harrier.Shadow.byte s a))
+          Taint.Tagset.empty
+          (List.init 17 Fun.id)
+      in
+      Taint.Tagset.equal expected (Harrier.Shadow.range s 0 17))
+
+(* ------------------------------------------------------------------ *)
+(* Engine refraction                                                   *)
+
+let prop_engine_refraction =
+  Test.make ~name:"a second run never re-fires" ~count:50
+    (int_bound 5) (fun n ->
+      let e = Expert.Engine.create () in
+      Expert.Engine.deftemplate e
+        (Expert.Template.make "t" [ Expert.Template.slot "v" ]);
+      Expert.Engine.defrule e
+        (Expert.Engine.rule ~name:"r" [ Expert.Pattern.make "t" [] ]
+           (fun _ _ _ -> ()));
+      for i = 1 to n do
+        ignore (Expert.Engine.assert_fact e "t" [ "v", Expert.Value.Int i ])
+      done;
+      let first = Expert.Engine.run e in
+      let second = Expert.Engine.run e in
+      first = n && second = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Secure binaries: a program with no data sections is trivially
+   secure                                                              *)
+
+let prop_secure_no_data =
+  Test.make ~name:"no data sections implies Secure Binary" ~count:50
+    (list_of_size (Gen.int_bound 10)
+       (make ~print:(fun _ -> "<insn>")
+          (Gen.oneofl
+             [ Isa.Insn.Nop; Isa.Insn.Cpuid;
+               Isa.Insn.Mov (W, Reg EAX, Imm 5); Isa.Insn.Int 0x80 ])))
+    (fun insns ->
+      let img =
+        Binary.Image.make ~path:"/p" ~kind:Binary.Image.Executable
+          ~base:0 ~text:(Array.of_list insns) ~sections:[] ~exports:[]
+          ~relocs:[] ~needed:[] ~entry:0
+      in
+      Hth.Secure_binary.is_secure img)
+
+(* ------------------------------------------------------------------ *)
+(* Taint propagation vs a reference shadow interpreter                  *)
+
+(* ops over 4 registers: mov r<-r, mov r<-imm, alu r<-r *)
+type top = Tmov_rr | Tmov_ri | Talu
+
+let treg_gen = Gen.oneofl [ Isa.Reg.EAX; Isa.Reg.EBX; Isa.Reg.ECX;
+                            Isa.Reg.EDX ]
+
+let tstep_gen =
+  Gen.(triple (oneofl [ Tmov_rr; Tmov_ri; Talu ]) treg_gen treg_gen)
+
+let imm_tag = Taint.Tagset.singleton (Taint.Source.Binary "/img")
+
+let reference_taint tags (op, dst, src) =
+  let get r = List.assoc (Isa.Reg.index r) tags in
+  let set r v =
+    (Isa.Reg.index r, v)
+    :: List.remove_assoc (Isa.Reg.index r) tags
+  in
+  match op with
+  | Tmov_rr -> set dst (get src)
+  | Tmov_ri -> set dst imm_tag
+  | Talu -> set dst (Taint.Tagset.union (get dst) (get src))
+
+let insn_of_tstep (op, dst, src) : Isa.Insn.t =
+  match op with
+  | Tmov_rr -> Mov (W, Reg dst, Reg src)
+  | Tmov_ri -> Mov (W, Reg dst, Imm 7)
+  | Talu -> Add (Reg dst, Reg src)
+
+let prop_dataflow_matches_reference =
+  Test.make ~name:"dataflow agrees with reference taint interpreter"
+    ~count:200
+    (make
+       ~print:(fun (init, steps) ->
+         Printf.sprintf "init=%d steps=%d" (List.length init)
+           (List.length steps))
+       Gen.(pair (list_size (return 4) tagset_gen)
+              (list_size (int_bound 15) tstep_gen)))
+    (fun (init, steps) ->
+      let init =
+        (* pad/trim to exactly 4 register tags *)
+        let rec take n = function
+          | _ when n = 0 -> []
+          | [] -> Taint.Tagset.empty :: take (n - 1) []
+          | x :: rest -> x :: take (n - 1) rest
+        in
+        take 4 init
+      in
+      let m = Vm.Machine.create () in
+      let shadow = Harrier.Shadow.create () in
+      List.iteri
+        (fun i t -> Harrier.Shadow.set_reg shadow (Isa.Reg.of_index i) t)
+        init;
+      let reference =
+        List.fold_left reference_taint
+          (List.mapi (fun i t -> i, t) init)
+          steps
+      in
+      List.iter
+        (fun step ->
+          Harrier.Dataflow.step shadow m ~imm_tag (insn_of_tstep step))
+        steps;
+      List.for_all
+        (fun (i, expected) ->
+          Taint.Tagset.equal expected
+            (Harrier.Shadow.reg shadow (Isa.Reg.of_index i)))
+        reference)
+
+(* ------------------------------------------------------------------ *)
+(* Trace round trip for random events                                   *)
+
+let resource_gen =
+  Gen.map2
+    (fun kind (name, origin) : Harrier.Events.resource ->
+      { r_kind = kind; r_name = name; r_origin = origin })
+    (Gen.oneofl
+       [ Harrier.Events.R_file; Harrier.Events.R_socket;
+         Harrier.Events.R_stdio ])
+    (Gen.pair Gen.string_printable tagset_gen)
+
+let meta_gen =
+  Gen.map
+    (fun (pid, time, freq, addr) : Harrier.Events.meta ->
+      { pid; time; freq; addr })
+    Gen.(quad small_nat small_nat small_nat small_nat)
+
+let event_gen =
+  let open Gen in
+  oneof
+    [ map3
+        (fun path argv meta -> Harrier.Events.Exec { path; argv; meta })
+        resource_gen
+        (list_size (int_bound 3) string_printable)
+        meta_gen;
+      map3
+        (fun total recent meta ->
+          Harrier.Events.Clone { total; recent; window = 3000; meta })
+        small_nat small_nat meta_gen;
+      map3
+        (fun call res meta -> Harrier.Events.Access { call; res; meta })
+        (oneofl [ "SYS_open"; "SYS_connect"; "SYS_bind" ])
+        resource_gen meta_gen;
+      map3
+        (fun requested total meta ->
+          Harrier.Events.Alloc { requested; total; meta })
+        small_nat small_nat meta_gen;
+      map3
+        (fun (data, head, sources) (target, via_server) (len, meta) ->
+          Harrier.Events.Transfer
+            { call = "SYS_write"; data; head; sources; target; via_server;
+              len; meta })
+        (triple tagset_gen string
+           (list_size (int_bound 3) (pair source_gen tagset_gen)))
+        (pair resource_gen (option resource_gen))
+        (pair small_nat meta_gen) ]
+
+let event =
+  make
+    ~print:(fun e -> Fmt.to_to_string Harrier.Events.pp e)
+    event_gen
+
+let prop_trace_roundtrip =
+  Test.make ~name:"trace serialize/parse round trip" ~count:300
+    (list_of_size (Gen.int_bound 5) event) (fun events ->
+      match Hth.Trace.of_string (Hth.Trace.to_string events) with
+      | Error _ -> false
+      | Ok events' ->
+        List.length events = List.length events'
+        && List.for_all2
+             (fun a b ->
+               Fmt.to_to_string Harrier.Events.pp a
+               = Fmt.to_to_string Harrier.Events.pp b)
+             events events')
+
+let props =
+  [ prop_union_commutes; prop_union_assoc; prop_union_idempotent;
+    prop_union_monotone; prop_of_list_set_semantics;
+    prop_origin_socket_dominates; prop_origin_empty_unknown;
+    prop_origin_classify_all_consistent; prop_value_compare_refl;
+    prop_value_compare_antisym; prop_sexp_roundtrip; prop_word_roundtrip;
+    prop_string_roundtrip; prop_machine_matches_reference;
+    prop_fs_roundtrip; prop_shadow_range_union; prop_engine_refraction;
+    prop_secure_no_data; prop_trace_roundtrip;
+    prop_dataflow_matches_reference ]
+
+let suite = List.map QCheck_alcotest.to_alcotest props

@@ -1,0 +1,101 @@
+(* Tests for trace recording and offline replay. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let find name =
+  match Guest.Corpus.find name with
+  | Some sc -> sc
+  | None -> Alcotest.failf "missing scenario %s" name
+
+let events_equal (a : Harrier.Events.t) (b : Harrier.Events.t) =
+  (* structural equality via the printed form — tag sets are canonical *)
+  Fmt.to_to_string Harrier.Events.pp a = Fmt.to_to_string Harrier.Events.pp b
+
+let test_roundtrip_session () =
+  let r = Hth.Session.run (find "pma").sc_setup in
+  match Hth.Trace.of_string (Hth.Trace.record r) with
+  | Error msg -> Alcotest.fail msg
+  | Ok events ->
+    check_int "event count preserved" (List.length r.events)
+      (List.length events);
+    check "events preserved" true (List.for_all2 events_equal r.events events)
+
+let test_roundtrip_binary_head () =
+  (* heads can carry raw executable bytes *)
+  let e =
+    Harrier.Events.Transfer
+      { call = "SYS_write";
+        data = Taint.Tagset.singleton (Taint.Source.Socket "h:1");
+        head = "MZ\x90\x00\x01\xFF\n\t\"quoted\"";
+        sources = [ Taint.Source.Socket "h:1", Taint.Tagset.empty ];
+        target =
+          { r_kind = Harrier.Events.R_file; r_name = "/t";
+            r_origin = Taint.Tagset.empty };
+        via_server = None; len = 10;
+        meta = { pid = 1; time = 2; freq = 3; addr = 4 } }
+  in
+  match Hth.Trace.of_string (Hth.Trace.to_string [ e ]) with
+  | Ok [ Harrier.Events.Transfer { head; _ } ] ->
+    Alcotest.(check string) "binary head survives"
+      "MZ\x90\x00\x01\xFF\n\t\"quoted\"" head
+  | Ok _ -> Alcotest.fail "wrong event shape"
+  | Error msg -> Alcotest.fail msg
+
+let test_replay_matches_live () =
+  List.iter
+    (fun name ->
+      let r = Hth.Session.run (find name).sc_setup in
+      let replayed = Hth.Trace.replay r.events in
+      check_int
+        (name ^ ": replay reproduces the warnings")
+        (List.length r.warnings)
+        (List.length replayed);
+      check (name ^ ": same maximum severity") true
+        (Secpert.Warning.max_severity replayed = r.max_severity))
+    [ "grabem"; "pma"; "Hardcode"; "pico"; "stealth dropper" ]
+
+let test_replay_with_different_policy () =
+  (* offline re-judging: replay an old trace under a new configuration *)
+  let r = Hth.Session.run (find "ElmExploit").sc_setup in
+  let default_warnings = Hth.Trace.replay r.events in
+  let paranoid =
+    Hth.Trace.replay ~trust:Secpert.Trust.nothing r.events
+  in
+  check "default trust misses the exec" true
+    (not
+       (List.exists
+          (fun w -> w.Secpert.Warning.rule = "check_execve")
+          default_warnings));
+  check "re-judged without trust catches it" true
+    (List.exists
+       (fun w -> w.Secpert.Warning.rule = "check_execve")
+       paranoid)
+
+let test_bad_traces_rejected () =
+  List.iter
+    (fun bad ->
+      match Hth.Trace.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad trace %S" bad)
+    [ "(unknown-event 1)"; "(exec)"; "(clone 1 2)"; "(access SYS_open)";
+      "(" ]
+
+let test_empty_trace () =
+  match Hth.Trace.of_string "" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "phantom events"
+  | Error msg -> Alcotest.fail msg
+
+let suite =
+  [ Alcotest.test_case "session trace round trip" `Quick
+      test_roundtrip_session;
+    Alcotest.test_case "binary head round trip" `Quick
+      test_roundtrip_binary_head;
+    Alcotest.test_case "replay matches live warnings" `Quick
+      test_replay_matches_live;
+    Alcotest.test_case "offline re-judging with new policy" `Quick
+      test_replay_with_different_policy;
+    Alcotest.test_case "bad traces rejected" `Quick
+      test_bad_traces_rejected;
+    Alcotest.test_case "empty trace" `Quick test_empty_trace ]
