@@ -70,39 +70,72 @@ let policy_tests () =
       Test.make ~name:"textual CLIPS (20 transfers)"
         (Staged.stage (feed Secpert.System.Clips)) ]
 
+let tag_a =
+  Taint.Tagset.of_list
+    [ Taint.Source.User_input; Taint.Source.File "/a";
+      Taint.Source.Binary "/bin/x" ]
+
+let tag_b =
+  Taint.Tagset.of_list
+    [ Taint.Source.Socket "peer:1"; Taint.Source.File "/a" ]
+
+(* An indexed-WM inference workload: 4 templates x 50 facts, one
+   2-pattern joined rule over two of them.  With per-template buckets
+   the join only visits candidate facts of each pattern's template. *)
+let wm_inference () =
+  let e = Expert.Engine.create () in
+  List.iter
+    (fun name ->
+      Expert.Engine.deftemplate e
+        (Expert.Template.make name [ Expert.Template.slot "v" ]))
+    [ "a"; "b"; "c"; "d" ];
+  List.iter
+    (fun name ->
+      for i = 1 to 50 do
+        ignore (Expert.Engine.assert_fact e name [ "v", Expert.Value.Int i ])
+      done)
+    [ "a"; "b"; "c"; "d" ];
+  Expert.Engine.defrule e
+    (Expert.Engine.rule ~name:"join"
+       [ Expert.Pattern.make "a" [ "v", Expert.Pattern.Var "x" ];
+         Expert.Pattern.make "b" [ "v", Expert.Pattern.Var "x" ] ]
+       (fun _ _ _ -> ()));
+  ignore (Expert.Engine.run e)
+
+let secpert_execve_workload () =
+  let secpert = Secpert.System.create () in
+  let meta = { Harrier.Events.pid = 1; time = 10; freq = 1; addr = 0 } in
+  let res : Harrier.Events.resource =
+    { r_kind = Harrier.Events.R_file; r_name = "/bin/ls";
+      r_origin = Taint.Tagset.singleton (Taint.Source.Binary "/bin/x") }
+  in
+  for _ = 1 to 50 do
+    ignore
+      (Secpert.System.handle_event secpert
+         (Harrier.Events.Exec { path = res; argv = []; meta }))
+  done
+
 let component_tests () =
-  let tag_a =
-    Taint.Tagset.of_list
-      [ Taint.Source.User_input; Taint.Source.File "/a";
-        Taint.Source.Binary "/bin/x" ]
-  in
-  let tag_b =
-    Taint.Tagset.of_list
-      [ Taint.Source.Socket "peer:1"; Taint.Source.File "/a" ]
-  in
   let shadow = Harrier.Shadow.create () in
-  let engine_workload () =
-    let secpert = Secpert.System.create () in
-    let meta = { Harrier.Events.pid = 1; time = 10; freq = 1; addr = 0 } in
-    let res : Harrier.Events.resource =
-      { r_kind = Harrier.Events.R_file; r_name = "/bin/ls";
-        r_origin = Taint.Tagset.singleton (Taint.Source.Binary "/bin/x") }
-    in
-    for _ = 1 to 50 do
-      ignore
-        (Secpert.System.handle_event secpert
-           (Harrier.Events.Exec { path = res; argv = []; meta }))
-    done
-  in
+  (* crosses the 4 KiB page boundary on purpose *)
+  let straddle_addr = 0x8000 - 8 in
   Test.make_grouped ~name:"components"
-    [ Test.make ~name:"tagset union"
+    [ Test.make ~name:"tagset union (interned, memo hit)"
         (Staged.stage (fun () -> ignore (Taint.Tagset.union tag_a tag_b)));
+      Test.make ~name:"tagset equal (pointer)"
+        (Staged.stage (fun () -> ignore (Taint.Tagset.equal tag_a tag_b)));
       Test.make ~name:"shadow 4-byte store+load"
         (Staged.stage (fun () ->
              Harrier.Shadow.set_range shadow 0x8000 4 tag_a;
              ignore (Harrier.Shadow.range shadow 0x8000 4)));
+      Test.make ~name:"shadow 64-byte range ops (page straddle)"
+        (Staged.stage (fun () ->
+             Harrier.Shadow.set_range shadow straddle_addr 64 tag_b;
+             ignore (Harrier.Shadow.range shadow straddle_addr 64)));
+      Test.make ~name:"indexed-WM inference (200 facts, 2-pat join)"
+        (Staged.stage wm_inference);
       Test.make ~name:"secpert 50 execve events"
-        (Staged.stage engine_workload) ]
+        (Staged.stage secpert_execve_workload) ]
 
 let analyze tests =
   let ols =
@@ -132,7 +165,55 @@ let human_ns ns =
   else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
   else Printf.sprintf "%.0f ns" ns
 
-let run () =
+(* Machine-readable results so future PRs can track the trajectory. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_group name results extra =
+  let entry (bench, ns) =
+    let fields =
+      Printf.sprintf "\"name\": \"%s\", \"ns_per_run\": %.1f"
+        (json_escape bench) ns
+      ::
+      (match extra bench ns with [] -> [] | fs -> fs)
+    in
+    Printf.sprintf "    {%s}" (String.concat ", " fields)
+  in
+  Printf.sprintf "  \"%s\": [\n%s\n  ]" name
+    (String.concat ",\n" (List.map entry results))
+
+let write_json path ~levels ~native ~components ~policies =
+  let slowdown _ ns =
+    if Float.is_nan native || native = 0. then []
+    else [ Printf.sprintf "\"slowdown_vs_native\": %.2f" (ns /. native) ]
+  in
+  let no_extra _ _ = [] in
+  let doc =
+    String.concat "\n"
+      [ "{";
+        "  \"benchmark\": \"Section 9 performance study\",";
+        "  \"unit\": \"ns/run\",";
+        json_group "levels" levels slowdown ^ ",";
+        json_group "components" components no_extra ^ ",";
+        json_group "policy" policies no_extra;
+        "}" ]
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let run ?(json_path = "BENCH_perf.json") () =
   Printf.printf
     "\n== Section 9: performance (Bechamel, monotonic clock) ==\n%!";
   let levels = analyze (session_tests ()) in
@@ -157,4 +238,5 @@ let run () =
   let policies = analyze (policy_tests ()) in
   Grid.print ~title:"Secpert policy engines (same event stream)"
     ~headers:[ "Policy"; "time/run" ]
-    (List.map (fun (name, ns) -> [ name; human_ns ns ]) policies)
+    (List.map (fun (name, ns) -> [ name; human_ns ns ]) policies);
+  write_json json_path ~levels ~native ~components ~policies

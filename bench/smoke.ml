@@ -1,0 +1,37 @@
+(* bench-smoke: runs every bench code path with tiny iteration counts
+   so the benchmark harness can't bit-rot.  Wired into `dune runtest`
+   (see bench/dune); takes well under a second. *)
+
+let check name cond = if not cond then failwith ("bench smoke: " ^ name)
+
+let () =
+  (* session monitoring levels, one short run each *)
+  let sc = Guest.Perf_workload.scenario ~iters:2 in
+  ignore (Hth.Session.run_unmonitored sc.sc_setup);
+  List.iter
+    (fun cfg -> ignore (Hth.Session.run ~monitor_config:cfg sc.sc_setup))
+    [ Perf.bare_config; Perf.freq_config; Perf.dataflow_config;
+      Harrier.Monitor.default_config ];
+  (* component micro-operations *)
+  let u = Taint.Tagset.union Perf.tag_a Perf.tag_b in
+  check "union memoized"
+    (Taint.Tagset.equal u (Taint.Tagset.union Perf.tag_b Perf.tag_a));
+  let shadow = Harrier.Shadow.create () in
+  let straddle = 0x1000 - 8 in
+  Harrier.Shadow.set_range shadow straddle 64 u;
+  check "straddling range"
+    (Taint.Tagset.equal u (Harrier.Shadow.range shadow straddle 64));
+  check "tagged bytes" (Harrier.Shadow.tagged_bytes shadow = 64);
+  Harrier.Shadow.set_range shadow straddle 64 Taint.Tagset.empty;
+  check "cleared" (Harrier.Shadow.tagged_bytes shadow = 0);
+  Perf.wm_inference ();
+  Perf.secpert_execve_workload ();
+  (* the JSON emitter *)
+  let tmp = Filename.temp_file "bench_smoke" ".json" in
+  Perf.write_json tmp
+    ~levels:[ "harrier-levels/native (no monitor)", 1e6 ]
+    ~native:1e6
+    ~components:[ "components/tagset union (interned, memo hit)", 10. ]
+    ~policies:[ "policy/native rules (20 transfers)", 1e5 ];
+  Sys.remove tmp;
+  print_endline "bench smoke ok"

@@ -1,7 +1,12 @@
 type t = {
   templates : (string, Template.t) Hashtbl.t;
-  mutable rules : rule list;  (* in definition order *)
-  mutable wm : Fact.t list;  (* newest first *)
+  mutable rules_rev : rule list;  (* reversed definition order *)
+  mutable rules_fwd : rule list option;  (* memoized definition order *)
+  wm_by_tpl : (string, Fact.t list) Hashtbl.t;
+      (* working memory indexed by template name, newest first — joins
+         only ever look at facts of the pattern's template *)
+  wm_by_id : (int, Fact.t) Hashtbl.t;
+  mutable wm_count : int;
   mutable next_id : int;
   fired : (string, unit) Hashtbl.t;  (* refraction keys *)
   fns : (string, Value.t list -> Value.t) Hashtbl.t;
@@ -27,7 +32,9 @@ let rule ~name ?(salience = 0) ?(negated = []) ?(guard = fun _ _ -> true)
 
 let create () =
   let e =
-    { templates = Hashtbl.create 16; rules = []; wm = []; next_id = 1;
+    { templates = Hashtbl.create 16; rules_rev = []; rules_fwd = Some [];
+      wm_by_tpl = Hashtbl.create 16; wm_by_id = Hashtbl.create 64;
+      wm_count = 0; next_id = 1;
       fired = Hashtbl.create 64; fns = Hashtbl.create 16;
       globals = Hashtbl.create 16; out = ignore; buffered = [] }
   in
@@ -38,7 +45,17 @@ let deftemplate e tpl = Hashtbl.replace e.templates tpl.Template.tpl_name tpl
 
 let template e name = Hashtbl.find_opt e.templates name
 
-let defrule e r = e.rules <- e.rules @ [ r ]
+let defrule e r =
+  e.rules_rev <- r :: e.rules_rev;
+  e.rules_fwd <- None
+
+let rules e =
+  match e.rules_fwd with
+  | Some rs -> rs
+  | None ->
+    let rs = List.rev e.rules_rev in
+    e.rules_fwd <- Some rs;
+    rs
 
 let defun e name f = Hashtbl.replace e.fns name f
 
@@ -51,6 +68,12 @@ let set_global e name v = Hashtbl.replace e.globals name v
 
 let global e name = Hashtbl.find_opt e.globals name
 
+(* Facts of one template, newest first. *)
+let bucket e tpl_name =
+  match Hashtbl.find_opt e.wm_by_tpl tpl_name with
+  | Some facts -> facts
+  | None -> []
+
 let assert_fact e tpl_name slots =
   let tpl =
     match template e tpl_name with
@@ -62,16 +85,29 @@ let assert_fact e tpl_name slots =
   | Ok slots ->
     let fact = Fact.make ~id:e.next_id ~template:tpl_name ~slots in
     e.next_id <- e.next_id + 1;
-    e.wm <- fact :: e.wm;
+    Hashtbl.replace e.wm_by_tpl tpl_name (fact :: bucket e tpl_name);
+    Hashtbl.replace e.wm_by_id fact.Fact.id fact;
+    e.wm_count <- e.wm_count + 1;
     fact
 
-let retract_id e id = e.wm <- List.filter (fun f -> f.Fact.id <> id) e.wm
+let retract_id e id =
+  match Hashtbl.find_opt e.wm_by_id id with
+  | None -> ()
+  | Some fact ->
+    Hashtbl.remove e.wm_by_id id;
+    e.wm_count <- e.wm_count - 1;
+    let tpl = fact.Fact.template in
+    Hashtbl.replace e.wm_by_tpl tpl
+      (List.filter (fun f -> f.Fact.id <> id) (bucket e tpl))
 
 let retract e (f : Fact.t) = retract_id e f.id
 
-let facts e = e.wm
+(* Ids are allocated monotonically, so newest-first is descending id. *)
+let facts e =
+  Hashtbl.fold (fun _ f acc -> f :: acc) e.wm_by_id []
+  |> List.sort (fun a b -> Int.compare b.Fact.id a.Fact.id)
 
-let fact_by_id e id = List.find_opt (fun f -> f.Fact.id = id) e.wm
+let fact_by_id e id = Hashtbl.find_opt e.wm_by_id id
 
 let printout e line = e.out line
 
@@ -87,16 +123,17 @@ let activation_key rule facts =
   String.concat ","
     (rule.rule_name :: List.map (fun f -> string_of_int f.Fact.id) facts)
 
-(* Enumerate activations by depth-first join over the rule's patterns;
-   negated conditional elements must match no fact under the final
-   bindings. *)
+(* Enumerate activations by depth-first join over the rule's patterns,
+   each pattern considering only the facts of its own template; negated
+   conditional elements must match no fact under the final bindings. *)
 let activations e rule =
-  let wm = e.wm in
   let negation_clear bindings =
     not
       (List.exists
          (fun p ->
-           List.exists (fun f -> Pattern.match_fact p bindings f <> None) wm)
+           List.exists
+             (fun f -> Pattern.match_fact p bindings f <> None)
+             (bucket e p.Pattern.p_template))
          rule.negated)
   in
   let rec go patterns bindings matched acc =
@@ -112,7 +149,8 @@ let activations e rule =
           match Pattern.match_fact p bindings fact with
           | Some bindings' -> go rest bindings' (fact :: matched) acc
           | None -> acc)
-        acc wm
+        acc
+        (bucket e p.Pattern.p_template)
   in
   go rule.patterns [] [] []
 
@@ -126,7 +164,7 @@ let next_activation e =
             if Hashtbl.mem e.fired key then None
             else Some (rule, bindings, matched, key))
           (activations e rule))
-      e.rules
+      (rules e)
   in
   match candidates with
   | [] -> None

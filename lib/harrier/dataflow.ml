@@ -1,6 +1,10 @@
+(* This runs on every instruction, so the operand helpers are called
+   saturated — no per-step closure allocation — and unions rely on the
+   interned tag-set fast paths. *)
+
 let size_bytes = function Isa.Insn.B -> 1 | Isa.Insn.W -> 4
 
-let operand_tag shadow m ~imm_tag size (op : Isa.Operand.t) =
+let operand_tag shadow m imm_tag size (op : Isa.Operand.t) =
   match op with
   | Imm _ -> imm_tag
   | Reg r -> Shadow.reg shadow r
@@ -15,13 +19,9 @@ let write_tag shadow m size (op : Isa.Operand.t) tag =
     Shadow.set_range shadow (Vm.Machine.eff_addr m ref) (size_bytes size) tag
 
 let step shadow m ~imm_tag (insn : Isa.Insn.t) =
-  let src = operand_tag shadow m ~imm_tag in
-  let union2 dst s =
-    let tag = Taint.Tagset.union (src Isa.Insn.W dst) (src Isa.Insn.W s) in
-    write_tag shadow m Isa.Insn.W dst tag
-  in
   match insn with
-  | Mov (sz, dst, s) -> write_tag shadow m sz dst (src sz s)
+  | Mov (sz, dst, s) ->
+    write_tag shadow m sz dst (operand_tag shadow m imm_tag sz s)
   | Lea (r, ref) ->
     let reg_tag = function
       | None -> Taint.Tagset.empty
@@ -31,14 +31,20 @@ let step shadow m ~imm_tag (insn : Isa.Insn.t) =
       (Taint.Tagset.union imm_tag
          (Taint.Tagset.union (reg_tag ref.base) (reg_tag ref.index)))
   | Add (d, s) | Sub (d, s) | And (d, s) | Or (d, s) | Xor (d, s)
-  | Mul (d, s) | Div (d, s) | Shl (d, s) | Shr (d, s) -> union2 d s
+  | Mul (d, s) | Div (d, s) | Shl (d, s) | Shr (d, s) ->
+    let tag =
+      Taint.Tagset.union
+        (operand_tag shadow m imm_tag Isa.Insn.W d)
+        (operand_tag shadow m imm_tag Isa.Insn.W s)
+    in
+    write_tag shadow m Isa.Insn.W d tag
   | Inc d | Dec d ->
     write_tag shadow m Isa.Insn.W d
-      (Taint.Tagset.union (src Isa.Insn.W d) imm_tag)
+      (Taint.Tagset.union (operand_tag shadow m imm_tag Isa.Insn.W d) imm_tag)
   | Cmp _ | Test _ -> ()
   | Push a ->
     let sp = Vm.Machine.get_reg m ESP - 4 in
-    Shadow.set_range shadow sp 4 (src Isa.Insn.W a)
+    Shadow.set_range shadow sp 4 (operand_tag shadow m imm_tag Isa.Insn.W a)
   | Pop dst ->
     let sp = Vm.Machine.get_reg m ESP in
     write_tag shadow m Isa.Insn.W dst (Shadow.range shadow sp 4)

@@ -15,6 +15,19 @@ let default_config =
 
 (* Per-process monitor state, keyed by the machine (physical equality —
    a machine is the identity of a running program instance). *)
+
+(* Cached per-segment facts for the instruction hook: consecutive
+   instructions overwhelmingly execute from the same segment, and
+   resolving the segment (a list scan) plus its BINARY tag (a
+   string-keyed hash lookup) on every instruction dominates the
+   data-flow tracking cost otherwise. *)
+type seg_info = {
+  si_base : int;
+  si_limit : int;
+  si_tag : Taint.Tagset.t;  (* BINARY tag of the segment's image *)
+  si_app : bool;  (* executable (application) segment? *)
+}
+
 type pstate = {
   pid : int;
   shadow : Shadow.t;
@@ -22,6 +35,7 @@ type pstate = {
   mutable pending_origin : Taint.Tagset.t option;
       (** origin of the resource name seen at the pre-syscall hook,
           attached to the fd at the post hook *)
+  mutable seg_info : seg_info option;  (* one-entry instruction cache *)
 }
 
 type t = {
@@ -98,15 +112,32 @@ let string_origin s m addr =
 (* ------------------------------------------------------------------ *)
 (* Machine hooks                                                       *)
 
+(* Sentinel for "no segment at this address": an empty interval, so the
+   cache-hit test never matches it and lookups stay allocation-free. *)
+let no_seg_info =
+  { si_base = 0; si_limit = 0; si_tag = Taint.Tagset.empty; si_app = false }
+
+let seg_info_at t s m addr =
+  match s.seg_info with
+  | Some si when addr >= si.si_base && addr < si.si_limit -> si
+  | _ ->
+    (match Vm.Machine.segment_at m addr with
+     | None -> no_seg_info
+     | Some seg ->
+       let si =
+         { si_base = seg.seg_base;
+           si_limit = seg.seg_base + Array.length seg.seg_insns;
+           si_tag = imm_tag t seg.seg_image;
+           si_app = seg.seg_kind = Binary.Image.Executable }
+       in
+       s.seg_info <- Some si;
+       si)
+
 let hook_bb t m addr =
   match state_of t m with
   | exception Failure _ -> ()
   | s ->
-    let is_app =
-      match Vm.Machine.segment_at m addr with
-      | Some seg -> seg.seg_kind = Binary.Image.Executable
-      | None -> false
-    in
+    let is_app = (seg_info_at t s m addr).si_app in
     Freq.on_bb t.freq ~pid:s.pid ~is_app addr
 
 let hook_insn t m addr insn =
@@ -122,14 +153,8 @@ let hook_insn t m addr insn =
         | None -> ())
      | Ret -> Shortcircuit.on_ret s.sc m s.shadow
      | _ -> ());
-    if t.cfg.track_dataflow then begin
-      let tag =
-        match Vm.Machine.segment_at m addr with
-        | Some seg -> imm_tag t seg.seg_image
-        | None -> Taint.Tagset.empty
-      in
-      Dataflow.step s.shadow m ~imm_tag:tag insn
-    end
+    if t.cfg.track_dataflow then
+      Dataflow.step s.shadow m ~imm_tag:(seg_info_at t s m addr).si_tag insn
 
 (* ------------------------------------------------------------------ *)
 (* Kernel callbacks                                                    *)
@@ -139,7 +164,8 @@ let on_process_start t (p : Osim.Process.t) =
   t.cur <- None;
   let s =
     { pid = p.pid; shadow = Shadow.create ();
-      sc = Shortcircuit.create t.cfg.shortcircuit; pending_origin = None }
+      sc = Shortcircuit.create t.cfg.shortcircuit; pending_origin = None;
+      seg_info = None }
   in
   t.pmap <- (p.machine, s) :: t.pmap;
   Freq.reset t.freq ~pid:p.pid;
@@ -151,6 +177,8 @@ let on_process_start t (p : Osim.Process.t) =
 
 let on_image_load t (p : Osim.Process.t) (img : Binary.Image.t) =
   let s = state_of t p.machine in
+  (* mappings changed; drop the instruction-hook segment cache *)
+  s.seg_info <- None;
   let tag = imm_tag t img.path in
   List.iter
     (fun (sec : Binary.Section.t) ->
@@ -170,7 +198,8 @@ let on_fork t ~(parent : Osim.Process.t) ~(child : Osim.Process.t) =
   let ps = state_of t parent.machine in
   let cs =
     { pid = child.pid; shadow = Shadow.clone ps.shadow;
-      sc = Shortcircuit.clone ps.sc; pending_origin = ps.pending_origin }
+      sc = Shortcircuit.clone ps.sc; pending_origin = ps.pending_origin;
+      seg_info = ps.seg_info }
   in
   (* the child's eax holds fork's result, written by the kernel *)
   Shadow.set_reg cs.shadow EAX Taint.Tagset.empty;

@@ -3,7 +3,12 @@
     Every register carries one tag set; memory is tagged per byte
     (sparsely — untagged bytes have the empty tag).  This is the
     "Harrier Data Structures" box of Fig. 6 (Reg. DataFlow / Mem.
-    DataFlow). *)
+    DataFlow).
+
+    Memory tags are stored in fixed-size pages allocated on first taint
+    and reclaimed when fully cleared, so reads of untainted regions are
+    a single table miss and [range]/[set_range] operate on page runs
+    rather than per-byte hash lookups. *)
 
 type t
 

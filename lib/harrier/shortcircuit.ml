@@ -28,17 +28,28 @@ type frame = {
 
 type t = {
   sc_specs : spec list;
+  by_routine : (string, spec) Hashtbl.t;
+      (* routine-name index, built once — [on_call] runs on every
+         monitored library call *)
   mutable frames : frame list;
 }
 
-let create sc_specs = { sc_specs; frames = [] }
+let create sc_specs =
+  let by_routine = Hashtbl.create (max 8 (List.length sc_specs)) in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem by_routine s.routine) then
+        Hashtbl.add by_routine s.routine s)
+    sc_specs;
+  { sc_specs; by_routine; frames = [] }
 
-let clone t = { sc_specs = t.sc_specs; frames = t.frames }
+let clone t =
+  { sc_specs = t.sc_specs; by_routine = t.by_routine; frames = t.frames }
 
 let specs t = t.sc_specs
 
 let on_call t ~routine m shadow ~ret_addr =
-  match List.find_opt (fun s -> String.equal s.routine routine) t.sc_specs with
+  match Hashtbl.find_opt t.by_routine routine with
   | None -> ()
   | Some spec ->
     let f_captured = spec.capture m shadow in

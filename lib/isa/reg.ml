@@ -2,7 +2,7 @@ type t = EAX | EBX | ECX | EDX | ESI | EDI | EBP | ESP
 
 let count = 8
 
-let index = function
+let[@inline] index = function
   | EAX -> 0
   | EBX -> 1
   | ECX -> 2

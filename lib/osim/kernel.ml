@@ -472,7 +472,12 @@ let handle_syscall k (p : Process.t) ~retry =
 
 let run_quantum k (p : Process.t) =
   let steps = ref 0 in
-  while !steps < k.quantum && p.state = Runnable do
+  (* constructor match, not polymorphic compare — this test runs once
+     per simulated instruction *)
+  let runnable () =
+    match p.state with Process.Runnable -> true | _ -> false
+  in
+  while !steps < k.quantum && runnable () do
     incr steps;
     k.k_ticks <- k.k_ticks + 1;
     match Vm.Machine.step p.machine with

@@ -1,26 +1,121 @@
+(* Hash-consed tag sets.
+
+   Every distinct set of sources is interned exactly once into a node
+   carrying a unique integer id, so [equal]/[compare] are id (indeed
+   pointer) comparisons and [is_empty] is a pointer check against the
+   interned empty node.  A memoized binary-union cache keyed on id pairs
+   makes the union-per-instruction performed by [Harrier.Dataflow.step]
+   allocation-free on the (overwhelmingly common) repeated-operand case.
+
+   The intern and memo tables are global and grow with the number of
+   distinct sets observed; taint lattices in practice are tiny (a
+   handful of sources per process), so this is the classic BDD-style
+   trade: unbounded-but-small tables for O(1) equality and cached
+   unions. *)
+
 module S = Set.Make (Source)
 
-type t = S.t
+type t = { id : int; set : S.t }
 
-let empty = S.empty
-let is_empty = S.is_empty
-let singleton = S.singleton
-let of_list = S.of_list
-let to_list = S.elements
-let add = S.add
-let union = S.union
-let mem = S.mem
-let equal = S.equal
-let compare = S.compare
-let cardinal = S.cardinal
-let exists = S.exists
-let filter = S.filter
-let fold = S.fold
+(* Intern table, keyed by the canonical (sorted, deduplicated) element
+   list of the set. *)
+module Key = struct
+  type t = Source.t list
 
-let has_user_input t = S.mem User_input t
-let has_hardware t = S.mem Hardware t
+  let equal = List.equal (fun a b -> Source.compare a b = 0)
+  let hash = Hashtbl.hash
+end
 
-let select f t = S.fold (fun s acc -> match f s with Some x -> x :: acc | None -> acc) t []
+module Intern = Hashtbl.Make (Key)
+
+let intern_tbl : t Intern.t = Intern.create 509
+let next_id = ref 0
+
+let intern set =
+  let key = S.elements set in
+  match Intern.find_opt intern_tbl key with
+  | Some t -> t
+  | None ->
+    let t = { id = !next_id; set } in
+    incr next_id;
+    Intern.add intern_tbl key t;
+    t
+
+let interned_count () = !next_id
+
+let empty = intern S.empty
+
+let[@inline] is_empty t = t == empty
+
+let[@inline] id t = t.id
+
+(* Interning makes structural equality pointer equality. *)
+let[@inline] equal a b = a == b
+
+let[@inline] compare a b = Int.compare a.id b.id
+
+let singleton_tbl : (Source.t, t) Hashtbl.t = Hashtbl.create 64
+
+let singleton s =
+  match Hashtbl.find_opt singleton_tbl s with
+  | Some t -> t
+  | None ->
+    let t = intern (S.singleton s) in
+    Hashtbl.add singleton_tbl s t;
+    t
+
+let of_list l = intern (S.of_list l)
+
+let to_list t = S.elements t.set
+
+let add s t = if S.mem s t.set then t else intern (S.add s t.set)
+
+(* Binary-union memo: a direct-mapped cache keyed on the (ordered) id
+   pair packed into one int, so a hit is an array read plus an integer
+   compare — no hashing, no allocation.  Ids are dense and small, so
+   the packing is injective in practice; collisions just overwrite the
+   slot and recompute later.  The subset-collapse cases are handled by
+   [intern] itself (a union equal to one operand interns back to that
+   operand). *)
+let memo_bits = 14
+let memo_mask = (1 lsl memo_bits) - 1
+let memo_keys = Array.make (1 lsl memo_bits) (-1)
+let memo_vals = Array.make (1 lsl memo_bits) empty
+
+let union a b =
+  if a == b then a
+  else if a == empty then b
+  else if b == empty then a
+  else begin
+    let packed =
+      if a.id < b.id then (a.id lsl 31) lor b.id else (b.id lsl 31) lor a.id
+    in
+    (* low bits hold one id, bits 31+ the other; fold them together *)
+    let h = (packed lxor (packed lsr 29)) land memo_mask in
+    if memo_keys.(h) = packed then memo_vals.(h)
+    else begin
+      let r = intern (S.union a.set b.set) in
+      memo_keys.(h) <- packed;
+      memo_vals.(h) <- r;
+      r
+    end
+  end
+
+let mem s t = S.mem s t.set
+let cardinal t = S.cardinal t.set
+let exists p t = S.exists p t.set
+
+let filter p t =
+  let set = S.filter p t.set in
+  if set == t.set then t else intern set
+
+let fold f t acc = S.fold f t.set acc
+
+let has_user_input t = S.mem User_input t.set
+let has_hardware t = S.mem Hardware t.set
+
+let select f t =
+  S.fold (fun s acc -> match f s with Some x -> x :: acc | None -> acc) t.set []
 
 let binaries t =
   select (function Source.Binary n -> Some n | _ -> None) t |> List.rev

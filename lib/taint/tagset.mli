@@ -26,9 +26,20 @@ val union : t -> t -> t
 
 val mem : Source.t -> t -> bool
 
+(** Constant time: tag sets are hash-consed, so equality is a pointer
+    comparison. *)
 val equal : t -> t -> bool
 
+(** A total order consistent with [equal] (the interning order), for use
+    as a dictionary key.  Constant time; {e not} the subset order. *)
 val compare : t -> t -> int
+
+(** [id t] is the unique intern identifier of [t].  [id a = id b] iff
+    [equal a b]. *)
+val id : t -> int
+
+(** Number of distinct tag sets interned so far (diagnostics). *)
+val interned_count : unit -> int
 
 val cardinal : t -> int
 

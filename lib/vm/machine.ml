@@ -12,6 +12,12 @@ type segment = {
   seg_kind : Binary.Image.kind;
 }
 
+(* Sentinel "no segment": an empty interval, so the fetch fast path
+   below never matches it. *)
+let no_seg =
+  { seg_base = 0; seg_insns = [||]; seg_image = "";
+    seg_kind = Binary.Image.Executable }
+
 type t = {
   regs : int array;
   mutable eip : int;
@@ -20,6 +26,9 @@ type t = {
   mutable lt : bool;
   mem : Bytes.t;
   mutable segs : segment list;
+  mutable cur_seg : segment;
+      (* one-entry fetch cache: consecutive instructions execute from the
+         same segment, so [step] skips the segment-list scan *)
   mutable status : status;
   mutable at_bb_start : bool;
   h : hooks;
@@ -40,15 +49,15 @@ exception Fault_exn of fault
 let create ?hooks () =
   let h = match hooks with Some h -> h | None -> no_hooks () in
   { regs = Array.make Isa.Reg.count 0; eip = 0; zf = false; sf = false;
-    lt = false; mem = Bytes.make mem_size '\000'; segs = []; status = Running;
-    at_bb_start = true; h }
+    lt = false; mem = Bytes.make mem_size '\000'; segs = []; cur_seg = no_seg;
+    status = Running; at_bb_start = true; h }
 
 let hooks m = m.h
 
 let clone m =
   { regs = Array.copy m.regs; eip = m.eip; zf = m.zf; sf = m.sf; lt = m.lt;
-    mem = Bytes.copy m.mem; segs = m.segs; status = m.status;
-    at_bb_start = m.at_bb_start; h = m.h }
+    mem = Bytes.copy m.mem; segs = m.segs; cur_seg = m.cur_seg;
+    status = m.status; at_bb_start = m.at_bb_start; h = m.h }
 
 let status m = m.status
 let set_status m s = m.status <- s
@@ -107,6 +116,8 @@ let map_image m (img : Binary.Image.t) =
     { seg_base = img.base; seg_insns = img.text; seg_image = img.path;
       seg_kind = img.kind }
     :: m.segs;
+  (* the new segment may shadow the cached one *)
+  m.cur_seg <- no_seg;
   List.iter
     (fun (s : Binary.Section.t) ->
       write_string m s.addr (Bytes.to_string s.bytes))
@@ -119,10 +130,22 @@ let segment_at m addr =
     (fun s -> addr >= s.seg_base && addr < s.seg_base + Array.length s.seg_insns)
     m.segs
 
+(* Allocation-free fetch: hit the cached segment or rescan; [no_seg]
+   means no segment maps [addr]. *)
+let seg_for m addr =
+  let s = m.cur_seg in
+  if addr - s.seg_base >= 0 && addr - s.seg_base < Array.length s.seg_insns
+  then s
+  else
+    match segment_at m addr with
+    | Some s ->
+      m.cur_seg <- s;
+      s
+    | None -> no_seg
+
 let fetch m addr =
-  match segment_at m addr with
-  | Some s -> Some s.seg_insns.(addr - s.seg_base)
-  | None -> None
+  let s = seg_for m addr in
+  if s == no_seg then None else Some s.seg_insns.(addr - s.seg_base)
 
 let eff_addr m (r : Isa.Operand.mem_ref) =
   let v = function None -> 0 | Some reg -> get_reg m reg in
@@ -195,16 +218,25 @@ let pop m =
    the monitor tags the destination registers HARDWARE. *)
 let cpuid_values = (0x756E_6547, 0x4963_6E74, 0x6C65_746E, 0x0000_0F4A)
 
+(* Saturated top-level helper, so [exec] allocates no closures on the
+   per-instruction path; the operator arguments below are static
+   constant closures. *)
+let alu m f dst src =
+  let a = read_operand m Isa.Insn.W dst and b = read_operand m Isa.Insn.W src in
+  let r = f a b land 0xFFFFFFFF in
+  set_flags m r;
+  write_operand m Isa.Insn.W dst r;
+  m.eip <- m.eip + 1
+
+let sdiv a b = sign32 a / sign32 b
+let shl a b = a lsl (b land 31)
+let shr a b = a lsr (b land 31)
+let incr1 a _ = a + 1
+let decr1 a _ = a - 1
+
 let exec m insn =
   let open Isa.Insn in
   let next () = m.eip <- m.eip + 1 in
-  let alu f dst src =
-    let a = read_operand m W dst and b = read_operand m W src in
-    let r = f a b land 0xFFFFFFFF in
-    set_flags m r;
-    write_operand m W dst r;
-    next ()
-  in
   match insn with
   | Mov (sz, dst, src) ->
     write_operand m sz dst (read_operand m sz src);
@@ -214,21 +246,21 @@ let exec m insn =
     set_reg m r (eff_addr m ref);
     next ();
     Continue
-  | Add (d, s) -> alu ( + ) d s; Continue
-  | Sub (d, s) -> alu ( - ) d s; Continue
-  | And (d, s) -> alu ( land ) d s; Continue
-  | Or (d, s) -> alu ( lor ) d s; Continue
-  | Xor (d, s) -> alu ( lxor ) d s; Continue
-  | Mul (d, s) -> alu ( * ) d s; Continue
+  | Add (d, s) -> alu m ( + ) d s; Continue
+  | Sub (d, s) -> alu m ( - ) d s; Continue
+  | And (d, s) -> alu m ( land ) d s; Continue
+  | Or (d, s) -> alu m ( lor ) d s; Continue
+  | Xor (d, s) -> alu m ( lxor ) d s; Continue
+  | Mul (d, s) -> alu m ( * ) d s; Continue
   | Div (d, s) ->
     let b = read_operand m W s in
     if b = 0 then raise (Fault_exn Div_by_zero);
-    alu (fun a b -> sign32 a / sign32 b) d s;
+    alu m sdiv d s;
     Continue
-  | Shl (d, s) -> alu (fun a b -> a lsl (b land 31)) d s; Continue
-  | Shr (d, s) -> alu (fun a b -> a lsr (b land 31)) d s; Continue
-  | Inc d -> alu (fun a _ -> a + 1) d (Imm 0); Continue
-  | Dec d -> alu (fun a _ -> a - 1) d (Imm 0); Continue
+  | Shl (d, s) -> alu m shl d s; Continue
+  | Shr (d, s) -> alu m shr d s; Continue
+  | Inc d -> alu m incr1 d (Imm 0); Continue
+  | Dec d -> alu m decr1 d (Imm 0); Continue
   | Cmp (sz, a, b) ->
     let x = read_operand m sz a and y = read_operand m sz b in
     let sx, sy =
@@ -290,19 +322,22 @@ let step m =
   match m.status with
   | (Halted | Faulted _) as s -> Stopped s
   | Running ->
-    (match fetch m m.eip with
-     | None ->
-       m.status <- Faulted (Bad_fetch m.eip);
-       Stopped m.status
-     | Some insn ->
-       (try
-          if m.at_bb_start then m.h.on_bb m m.eip;
-          m.h.pre_insn m m.eip insn;
-          m.at_bb_start <- Isa.Insn.writes_control_flow insn;
-          exec m insn
-        with Fault_exn f ->
-          m.status <- Faulted f;
-          Stopped m.status))
+    let seg = seg_for m m.eip in
+    if seg == no_seg then begin
+      m.status <- Faulted (Bad_fetch m.eip);
+      Stopped m.status
+    end
+    else begin
+      let insn = seg.seg_insns.(m.eip - seg.seg_base) in
+      try
+        if m.at_bb_start then m.h.on_bb m m.eip;
+        m.h.pre_insn m m.eip insn;
+        m.at_bb_start <- Isa.Insn.writes_control_flow insn;
+        exec m insn
+      with Fault_exn f ->
+        m.status <- Faulted f;
+        Stopped m.status
+    end
 
 let pp_fault ppf = function
   | Bad_fetch a -> Fmt.pf ppf "bad fetch at 0x%x" a

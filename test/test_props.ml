@@ -74,6 +74,59 @@ let prop_of_list_set_semantics =
       = List.length (List.sort_uniq Taint.Source.compare l))
 
 (* ------------------------------------------------------------------ *)
+(* Interned tag sets agree with a reference Set.Make(Source) model     *)
+
+module Ref_set = Set.Make (Taint.Source)
+
+let same_as_model t model =
+  Taint.Tagset.to_list t = Ref_set.elements model
+  && Taint.Tagset.cardinal t = Ref_set.cardinal model
+  && Taint.Tagset.is_empty t = Ref_set.is_empty model
+
+let prop_interned_union_model =
+  Test.make ~name:"interned union matches reference set union" ~count:300
+    (pair (list_of_size (Gen.int_bound 8) source)
+       (list_of_size (Gen.int_bound 8) source))
+    (fun (l1, l2) ->
+      let t = Taint.Tagset.union (Taint.Tagset.of_list l1)
+                (Taint.Tagset.of_list l2) in
+      let model = Ref_set.union (Ref_set.of_list l1) (Ref_set.of_list l2) in
+      same_as_model t model)
+
+let prop_interned_add_mem_model =
+  Test.make ~name:"interned add/mem match reference set" ~count:300
+    (pair source (list_of_size (Gen.int_bound 8) source))
+    (fun (s, l) ->
+      let t = Taint.Tagset.add s (Taint.Tagset.of_list l) in
+      let model = Ref_set.add s (Ref_set.of_list l) in
+      same_as_model t model
+      && Taint.Tagset.mem s t
+      && List.for_all
+           (fun x -> Taint.Tagset.mem x t = Ref_set.mem x model)
+           (s :: l))
+
+let prop_interned_equal_is_extensional =
+  Test.make ~name:"interned equal/compare agree with element equality"
+    ~count:300
+    (pair (list_of_size (Gen.int_bound 8) source)
+       (list_of_size (Gen.int_bound 8) source))
+    (fun (l1, l2) ->
+      let a = Taint.Tagset.of_list l1 and b = Taint.Tagset.of_list l2 in
+      let extensional = Ref_set.equal (Ref_set.of_list l1) (Ref_set.of_list l2) in
+      Taint.Tagset.equal a b = extensional
+      && (Taint.Tagset.compare a b = 0) = extensional
+      && (Taint.Tagset.id a = Taint.Tagset.id b) = extensional)
+
+let prop_interned_filter_model =
+  Test.make ~name:"interned filter matches reference set filter" ~count:300
+    (list_of_size (Gen.int_bound 8) source)
+    (fun l ->
+      let keep s = Taint.Source.resource_name s <> None in
+      same_as_model
+        (Taint.Tagset.filter keep (Taint.Tagset.of_list l))
+        (Ref_set.filter keep (Ref_set.of_list l)))
+
+(* ------------------------------------------------------------------ *)
 (* Origin classification dominance                                     *)
 
 let no_trust (_ : Taint.Source.t) = false
@@ -239,6 +292,102 @@ let prop_shadow_range_union =
           (List.init 17 Fun.id)
       in
       Taint.Tagset.equal expected (Harrier.Shadow.range s 0 17))
+
+(* ------------------------------------------------------------------ *)
+(* Paged shadow memory agrees with a per-byte map model; operations
+   straddle the 4 KiB page boundary on purpose                         *)
+
+type shadow_op =
+  | Sset_byte of int * Taint.Tagset.t
+  | Sset_range of int * int * Taint.Tagset.t
+
+(* Addresses in [4064, 4064+96): ops cross the page_size = 4096 edge. *)
+let shadow_base = 4064
+let shadow_span = 96
+
+let shadow_op_gen =
+  let open Gen in
+  let addr = map (fun o -> shadow_base + o) (int_bound (shadow_span - 1)) in
+  oneof
+    [ map2 (fun a t -> Sset_byte (a, t)) addr tagset_gen;
+      map3 (fun a len t -> Sset_range (a, len, t)) addr (int_bound 40)
+        tagset_gen ]
+
+let shadow_ops =
+  make
+    ~print:(fun ops -> Printf.sprintf "%d shadow ops" (List.length ops))
+    (Gen.list_size (Gen.int_bound 12) shadow_op_gen)
+
+let model_apply model = function
+  | Sset_byte (a, t) ->
+    if Taint.Tagset.is_empty t then Hashtbl.remove model a
+    else Hashtbl.replace model a t
+  | Sset_range (a, len, t) ->
+    for i = a to a + len - 1 do
+      if Taint.Tagset.is_empty t then Hashtbl.remove model i
+      else Hashtbl.replace model i t
+    done
+
+let model_byte model a =
+  Option.value (Hashtbl.find_opt model a) ~default:Taint.Tagset.empty
+
+let model_range model a len =
+  let acc = ref Taint.Tagset.empty in
+  for i = a to a + len - 1 do
+    acc := Taint.Tagset.union !acc (model_byte model i)
+  done;
+  !acc
+
+let prop_shadow_matches_byte_map =
+  Test.make ~name:"paged shadow agrees with a byte-map model" ~count:300
+    shadow_ops
+    (fun ops ->
+      let s = Harrier.Shadow.create () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun op ->
+          (match op with
+           | Sset_byte (a, t) -> Harrier.Shadow.set_byte s a t
+           | Sset_range (a, len, t) -> Harrier.Shadow.set_range s a len t);
+          model_apply model op)
+        ops;
+      let bytes_agree =
+        List.for_all
+          (fun i ->
+            let a = shadow_base + i in
+            Taint.Tagset.equal (Harrier.Shadow.byte s a) (model_byte model a))
+          (List.init shadow_span Fun.id)
+      in
+      bytes_agree
+      && Taint.Tagset.equal
+           (Harrier.Shadow.range s shadow_base shadow_span)
+           (model_range model shadow_base shadow_span)
+      && Harrier.Shadow.tagged_bytes s = Hashtbl.length model)
+
+let prop_shadow_clone_independent =
+  Test.make ~name:"shadow clone is a deep copy" ~count:100
+    (pair shadow_ops shadow_ops)
+    (fun (ops, after) ->
+      let s = Harrier.Shadow.create () in
+      List.iter
+        (function
+          | Sset_byte (a, t) -> Harrier.Shadow.set_byte s a t
+          | Sset_range (a, len, t) -> Harrier.Shadow.set_range s a len t)
+        ops;
+      let snapshot =
+        List.init shadow_span (fun i -> Harrier.Shadow.byte s (shadow_base + i))
+      in
+      let c = Harrier.Shadow.clone s in
+      List.iter
+        (function
+          | Sset_byte (a, t) -> Harrier.Shadow.set_byte c a t
+          | Sset_range (a, len, t) -> Harrier.Shadow.set_range c a len t)
+        after;
+      List.for_all2
+        (fun expected i ->
+          Taint.Tagset.equal expected (Harrier.Shadow.byte s (shadow_base + i)))
+        snapshot
+        (List.init shadow_span Fun.id))
 
 (* ------------------------------------------------------------------ *)
 (* Engine refraction                                                   *)
@@ -417,6 +566,9 @@ let prop_trace_roundtrip =
 let props =
   [ prop_union_commutes; prop_union_assoc; prop_union_idempotent;
     prop_union_monotone; prop_of_list_set_semantics;
+    prop_interned_union_model; prop_interned_add_mem_model;
+    prop_interned_equal_is_extensional; prop_interned_filter_model;
+    prop_shadow_matches_byte_map; prop_shadow_clone_independent;
     prop_origin_socket_dominates; prop_origin_empty_unknown;
     prop_origin_classify_all_consistent; prop_value_compare_refl;
     prop_value_compare_antisym; prop_sexp_roundtrip; prop_word_roundtrip;
