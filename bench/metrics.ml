@@ -1,15 +1,16 @@
 (* Detection metrics across the whole corpus: the aggregate view of the
    paper's accuracy story (Sections 8.2/8.3): detection rate on
    malicious scenarios, false-positive rate on benign ones, and severity
-   agreement. *)
+   agreement.
+
+   The tallies are a single pass over the corpus into the
+   [bench.metrics.*] counter family from lib/obs — the same substrate
+   the sessions themselves report through — rather than repeated
+   List.filter passes over a retained result list. *)
 
 let run () =
-  let results =
-    List.map
-      (fun (sc : Guest.Scenario.t) ->
-        sc, Hth.Report.verdict (Guest.Scenario.run sc))
-      Guest.Corpus.all
-  in
+  let before = Obs.snapshot () in
+  let tally label = Obs.Counter.incr (Obs.Counter.labeled "bench.metrics" label) in
   let is_malicious (sc : Guest.Scenario.t) =
     match sc.sc_expected with
     | Guest.Scenario.Benign -> false
@@ -19,24 +20,34 @@ let run () =
     | Hth.Report.Benign -> false
     | Hth.Report.Suspicious _ -> true
   in
-  let count p = List.length (List.filter p results) in
-  let tp = count (fun (sc, v) -> is_malicious sc && detected v) in
-  let fn = count (fun (sc, v) -> is_malicious sc && not (detected v)) in
-  let fp = count (fun (sc, v) -> (not (is_malicious sc)) && detected v) in
-  let tn = count (fun (sc, v) -> (not (is_malicious sc)) && not (detected v))
+  List.iter
+    (fun (sc : Guest.Scenario.t) ->
+      let v = Hth.Report.verdict (Guest.Scenario.run sc) in
+      tally "scenarios";
+      (match is_malicious sc, detected v with
+       | true, true -> tally "tp"
+       | true, false -> tally "fn"
+       | false, true -> tally "fp"
+       | false, false -> tally "tn");
+      if Guest.Scenario.matches sc.sc_expected v then tally "exact")
+    Guest.Corpus.all;
+  let stats = Obs.diff ~before ~after:(Obs.snapshot ()) in
+  let stat l =
+    Option.value (List.assoc_opt ("bench.metrics." ^ l) stats) ~default:0
   in
-  let exact =
-    count (fun (sc, v) -> Guest.Scenario.matches sc.sc_expected v)
-  in
+  let scenarios = stat "scenarios" in
+  let tp = stat "tp" and fn = stat "fn" in
+  let fp = stat "fp" and tn = stat "tn" in
+  let exact = stat "exact" in
   let pct a b = if b = 0 then "-" else Printf.sprintf "%.0f%%" (100. *. float a /. float b) in
   Grid.print ~title:"Corpus detection metrics"
     ~headers:[ "Metric"; "Value" ]
-    [ [ "scenarios"; string_of_int (List.length results) ];
+    [ [ "scenarios"; string_of_int scenarios ];
       [ "malicious detected (TP)"; Printf.sprintf "%d / %d (%s)" tp (tp + fn) (pct tp (tp + fn)) ];
       [ "malicious missed (FN)"; string_of_int fn ];
       [ "benign clean (TN)"; Printf.sprintf "%d / %d (%s)" tn (tn + fp) (pct tn (tn + fp)) ];
       [ "benign flagged (FP)"; string_of_int fp ];
-      [ "exact severity agreement"; Printf.sprintf "%d / %d (%s)" exact (List.length results) (pct exact (List.length results)) ] ];
+      [ "exact severity agreement"; Printf.sprintf "%d / %d (%s)" exact scenarios (pct exact scenarios) ] ];
   (* expected FPs per the paper: xeyes/make/g++ warn Low on trusted
      behaviour; in this corpus those are *expected* Malicious Low, so FP
      here counts only unexpected flags *)

@@ -26,6 +26,24 @@ let () =
   check "cleared" (Harrier.Shadow.tagged_bytes shadow = 0);
   Perf.wm_inference ();
   Perf.secpert_execve_workload ();
+  (* observability: counters move, the JSONL trace is byte-deterministic,
+     and the no-op sink is restored afterwards *)
+  let r = Hth.Session.run sc.sc_setup in
+  let stat name = Option.value (List.assoc_opt name r.stats) ~default:0 in
+  check "instructions counted" (stat "vm.instructions" > 0);
+  check "syscalls counted" (stat "osim.syscalls" > 0);
+  check "warnings counted" (stat "secpert.warnings" = List.length r.warnings);
+  let capture () =
+    let buf = Buffer.create 512 in
+    Obs.Trace.to_buffer buf;
+    Fun.protect ~finally:Obs.Trace.disable (fun () ->
+        ignore (Hth.Session.run sc.sc_setup));
+    Buffer.contents buf
+  in
+  let t1 = capture () in
+  check "trace non-empty" (String.length t1 > 0);
+  check "trace deterministic" (String.equal t1 (capture ()));
+  check "no-op sink restored" (not (Obs.Trace.enabled ()));
   (* the JSON emitter *)
   let tmp = Filename.temp_file "bench_smoke" ".json" in
   Perf.write_json tmp

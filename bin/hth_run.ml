@@ -61,8 +61,21 @@ let kill_at_arg =
   in
   Arg.(value & opt (some string) None & info [ "kill-at" ] ~docv:"SEV" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a JSONL event trace (syscalls, taint flows, rule firings, \
+     warnings; one JSON object per line with a monotone step index) to \
+     $(docv).  Traces of the deterministic simulator are byte-identical \
+     across runs — the golden harness in test/golden/ relies on this."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let stats_flag =
+  let doc = "Print the observability counters collected during the run." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
 let run_scenario name events no_dataflow no_freq no_shortcircuit
-    trust_nothing clips verbose kill_at =
+    trust_nothing clips verbose kill_at trace_file stats =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -96,13 +109,28 @@ let run_scenario name events no_dataflow no_freq no_shortcircuit
     let policy =
       if clips then Secpert.System.Clips else Secpert.System.Native
     in
+    let trace_oc =
+      Option.map
+        (fun path ->
+          let oc = open_out path in
+          Obs.Trace.to_channel oc;
+          oc)
+        trace_file
+    in
     let r =
-      Hth.Session.run ~monitor_config ~trust ~policy ?auto_kill sc.sc_setup
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Trace.disable ();
+          Option.iter close_out trace_oc)
+        (fun () ->
+          Hth.Session.run ~monitor_config ~trust ~policy ?auto_kill
+            sc.sc_setup)
     in
     Fmt.pr "%a@." (Hth.Report.pp_result ~verbose:events) r;
     Fmt.pr "expected: %s@."
       (Guest.Scenario.expected_label sc.sc_expected);
     Fmt.pr "%a@." Osim.Kernel.pp_report r.os_report;
+    if stats then Fmt.pr "%a@." Hth.Report.pp_stats r.stats;
     if
       not
         (Guest.Scenario.matches sc.sc_expected (Hth.Report.verdict r))
@@ -114,7 +142,7 @@ let run_cmd =
     Term.(
       const run_scenario $ scenario_arg $ events_flag $ no_dataflow_flag
       $ no_freq_flag $ no_shortcircuit_flag $ trust_nothing_flag
-      $ clips_flag $ verbose_flag $ kill_at_arg)
+      $ clips_flag $ verbose_flag $ kill_at_arg $ trace_arg $ stats_flag)
 
 let trace_cmd =
   let doc =

@@ -1,0 +1,65 @@
+(* Golden-trace comparison with line-level divergence reporting.
+
+   The golden harness in test/ and scripts/check.sh both need the same
+   verdict: are two traces byte-identical, and if not, which line
+   diverges first?  Keeping the comparator here (rather than inline in
+   the tests) makes CI failures actionable — the report names the file,
+   the 1-based line number and both lines — and lets other tools reuse
+   it. *)
+
+type divergence = {
+  line : int;  (* 1-based line number of the first difference *)
+  expected : string option;  (* [None] = the golden side ran out of lines *)
+  actual : string option;  (* [None] = the live side ran out of lines *)
+}
+
+let split_lines s =
+  (* split on '\n', dropping the trailing empty field a final newline
+     produces, so "a\nb\n" and "a\nb" compare as the same two lines
+     except for the byte-level check the callers do separately *)
+  match String.split_on_char '\n' s with
+  | [] -> []
+  | parts ->
+    (match List.rev parts with
+     | "" :: rest -> List.rev rest
+     | _ -> parts)
+
+let first_divergence ~expected ~actual =
+  if String.equal expected actual then None
+  else begin
+    let rec go n e a =
+      match e, a with
+      | [], [] ->
+        (* same lines, different bytes (e.g. trailing newline) *)
+        Some { line = n; expected = None; actual = None }
+      | [], x :: _ -> Some { line = n; expected = None; actual = Some x }
+      | x :: _, [] -> Some { line = n; expected = Some x; actual = None }
+      | x :: e', y :: a' ->
+        if String.equal x y then go (n + 1) e' a'
+        else Some { line = n; expected = Some x; actual = Some y }
+    in
+    go 1 (split_lines expected) (split_lines actual)
+  end
+
+let pp_side ppf = function
+  | None -> Fmt.string ppf "<missing>"
+  | Some l -> Fmt.pf ppf "%S" l
+
+let report ~name d =
+  Fmt.str
+    "@[<v>%s: traces diverge at line %d@,  golden: %a@,  live:   %a@]" name
+    d.line pp_side d.expected pp_side d.actual
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let compare_file ~golden ~actual =
+  match read_file golden with
+  | exception Sys_error msg -> Error (Fmt.str "%s: unreadable (%s)" golden msg)
+  | expected ->
+    (match first_divergence ~expected ~actual with
+     | None -> Ok ()
+     | Some d -> Error (report ~name:golden d))

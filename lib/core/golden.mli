@@ -1,0 +1,25 @@
+(** Golden-trace comparison with line-level divergence reporting, used
+    by the regression harness in [test/] and by [scripts/check.sh]. *)
+
+type divergence = {
+  line : int;  (** 1-based line number of the first difference *)
+  expected : string option;  (** [None]: the golden side has no line here *)
+  actual : string option;  (** [None]: the live side has no line here *)
+}
+
+(** [first_divergence ~expected ~actual] is [None] iff the two strings
+    are byte-identical; otherwise the first line-level difference.  A
+    byte difference with no differing line (e.g. a missing trailing
+    newline) reports the first line past the end. *)
+val first_divergence :
+  expected:string -> actual:string -> divergence option
+
+(** [report ~name d] renders an actionable failure message naming the
+    divergent line and both sides. *)
+val report : name:string -> divergence -> string
+
+val read_file : string -> string
+
+(** [compare_file ~golden ~actual] reads the golden file and compares;
+    [Error] carries the {!report}. *)
+val compare_file : golden:string -> actual:string -> (unit, string) result

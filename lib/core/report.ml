@@ -30,3 +30,13 @@ let pp_result ~verbose ppf (r : Session.result) =
     List.iter (fun e -> Fmt.pf ppf "  %a@," Harrier.Events.pp e) r.events;
     Fmt.pf ppf "@,%a@," Osim.Kernel.pp_report r.os_report
   end
+
+let pp_stats ppf (stats : Obs.snapshot) =
+  let width =
+    List.fold_left (fun w (n, _) -> max w (String.length n)) 0 stats
+  in
+  Fmt.pf ppf "@[<v>counters (%d):@," (List.length stats);
+  List.iter
+    (fun (name, v) -> Fmt.pf ppf "  %-*s %d@," width name v)
+    stats;
+  Fmt.pf ppf "@]"

@@ -16,3 +16,7 @@ val pp_verdict : Format.formatter -> verdict -> unit
 (** [pp_result ~verbose ppf r] prints warnings (deduplicated) and, when
     [verbose], the raw event stream and the OS report. *)
 val pp_result : verbose:bool -> Format.formatter -> Session.result -> unit
+
+(** [pp_stats ppf stats] renders a session's observability counters as
+    an aligned name/value table. *)
+val pp_stats : Format.formatter -> Obs.snapshot -> unit

@@ -27,7 +27,17 @@ type result = {
   distinct : Secpert.Warning.t list;
   max_severity : Secpert.Severity.t option;
   event_count : int;
+  stats : Obs.snapshot;
 }
+
+(* Per-phase wall-clock histograms (stats only — never trace data). *)
+let h_build = Obs.Histogram.make "session.phase.build"
+let h_spawn = Obs.Histogram.make "session.phase.spawn"
+let h_run = Obs.Histogram.make "session.phase.run"
+
+let phase name h f =
+  if Obs.Trace.enabled () then Obs.Trace.emit "phase" [ "name", Obs.Str name ];
+  Obs.Span.time h f
 
 let build_world s =
   let fs = Osim.Fs.create () in
@@ -47,23 +57,34 @@ let build_world s =
   fs, net
 
 let run ?monitor_config ?trust ?thresholds ?auto_kill ?policy s =
-  let fs, net = build_world s in
-  let kernel = Osim.Kernel.create ~fs ~net ~user_input:s.user_input () in
-  let monitor = Harrier.Monitor.attach ?config:monitor_config kernel in
-  let secpert =
-    Secpert.System.create ?trust ?thresholds ?auto_kill ?policy ()
+  let before = Obs.snapshot () in
+  let kernel, monitor, secpert =
+    phase "build" h_build (fun () ->
+        let fs, net = build_world s in
+        let kernel =
+          Osim.Kernel.create ~fs ~net ~user_input:s.user_input ()
+        in
+        let monitor = Harrier.Monitor.attach ?config:monitor_config kernel in
+        let secpert =
+          Secpert.System.create ?trust ?thresholds ?auto_kill ?policy ()
+        in
+        Secpert.System.attach secpert monitor;
+        kernel, monitor, secpert)
   in
-  Secpert.System.attach secpert monitor;
-  (match Osim.Kernel.spawn ~env:s.env kernel ~path:s.main ~argv:s.argv with
-   | Ok _ -> ()
-   | Error msg -> failwith ("Session.run: " ^ msg));
-  let os_report = Osim.Kernel.run kernel ~max_ticks:s.max_ticks in
+  phase "spawn" h_spawn (fun () ->
+      match Osim.Kernel.spawn ~env:s.env kernel ~path:s.main ~argv:s.argv with
+      | Ok _ -> ()
+      | Error msg -> failwith ("Session.run: " ^ msg));
+  let os_report =
+    phase "run" h_run (fun () -> Osim.Kernel.run kernel ~max_ticks:s.max_ticks)
+  in
   { os_report;
     events = Harrier.Monitor.events monitor;
     warnings = Secpert.System.warnings secpert;
     distinct = Secpert.System.distinct_warnings secpert;
     max_severity = Secpert.System.max_severity secpert;
-    event_count = Harrier.Monitor.event_count monitor }
+    event_count = Harrier.Monitor.event_count monitor;
+    stats = Obs.diff ~before ~after:(Obs.snapshot ()) }
 
 let run_unmonitored s =
   let fs, net = build_world s in

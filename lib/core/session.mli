@@ -47,6 +47,10 @@ type result = {
   distinct : Secpert.Warning.t list;  (** deduplicated *)
   max_severity : Secpert.Severity.t option;
   event_count : int;
+  stats : Obs.snapshot;
+      (** observability counters incremented during this run
+          (instructions, shadow ops, syscalls by name, rule firings,
+          warnings by severity, ...) *)
 }
 
 (** [run setup] executes the experiment.  [monitor_config] tunes Harrier

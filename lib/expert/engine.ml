@@ -30,6 +30,11 @@ let rule ~name ?(salience = 0) ?(negated = []) ?(guard = fun _ _ -> true)
     patterns action =
   { rule_name = name; salience; negated; patterns; guard; action }
 
+let c_asserted = Obs.Counter.make "expert.facts.asserted"
+let c_retracted = Obs.Counter.make "expert.facts.retracted"
+let c_activations = Obs.Counter.make "expert.activations"
+let c_firings = Obs.Counter.make "expert.firings"
+
 let create () =
   let e =
     { templates = Hashtbl.create 16; rules_rev = []; rules_fwd = Some [];
@@ -84,6 +89,7 @@ let assert_fact e tpl_name slots =
   | Error msg -> failwith ("Engine: " ^ msg)
   | Ok slots ->
     let fact = Fact.make ~id:e.next_id ~template:tpl_name ~slots in
+    Obs.Counter.incr c_asserted;
     e.next_id <- e.next_id + 1;
     Hashtbl.replace e.wm_by_tpl tpl_name (fact :: bucket e tpl_name);
     Hashtbl.replace e.wm_by_id fact.Fact.id fact;
@@ -94,6 +100,7 @@ let retract_id e id =
   match Hashtbl.find_opt e.wm_by_id id with
   | None -> ()
   | Some fact ->
+    Obs.Counter.incr c_retracted;
     Hashtbl.remove e.wm_by_id id;
     e.wm_count <- e.wm_count - 1;
     let tpl = fact.Fact.template in
@@ -140,8 +147,10 @@ let activations e rule =
     match patterns with
     | [] ->
       let matched = List.rev matched in
-      if rule.guard e bindings && negation_clear bindings then
+      if rule.guard e bindings && negation_clear bindings then begin
+        Obs.Counter.incr c_activations;
         (bindings, matched) :: acc
+      end
       else acc
     | p :: rest ->
       List.fold_left
@@ -185,6 +194,13 @@ let run ?(limit = 10_000) e =
       | None -> fired
       | Some (rule, bindings, matched, key) ->
         Hashtbl.replace e.fired key ();
+        Obs.Counter.incr c_firings;
+        Obs.Counter.incr (Obs.Counter.labeled "expert.firings" rule.rule_name);
+        if Obs.Trace.enabled () then
+          Obs.Trace.emit "rule"
+            [ "name", Obs.Str rule.rule_name;
+              "salience", Obs.Int rule.salience;
+              "facts", Obs.Int (List.length matched) ];
         rule.action e bindings matched;
         loop (fired + 1)
   in

@@ -88,9 +88,28 @@ let imm_tag t image =
     Hashtbl.replace t.imm_tags image tag;
     tag
 
+let c_events = Obs.Counter.make "harrier.events"
+
+let event_kind : Events.t -> string = function
+  | Events.Exec _ -> "exec"
+  | Events.Clone _ -> "clone"
+  | Events.Access _ -> "access"
+  | Events.Alloc _ -> "alloc"
+  | Events.Transfer _ -> "transfer"
+
 let emit t e =
   t.log <- e :: t.log;
   t.count <- t.count + 1;
+  Obs.Counter.incr c_events;
+  Obs.Counter.incr (Obs.Counter.labeled "harrier.events" (event_kind e));
+  if Obs.Trace.enabled () then begin
+    let m = Events.meta_of e in
+    Obs.Trace.emit "flow"
+      [ "kind", Obs.Str (event_kind e); "pid", Obs.Int m.pid;
+        "tick", Obs.Int m.time; "freq", Obs.Int m.freq;
+        "addr", Obs.Int m.addr;
+        "desc", Obs.Str (Fmt.to_to_string Events.pp e) ]
+  end;
   Log.debug (fun f -> f "event %a" Events.pp e);
   t.sink e
 

@@ -32,6 +32,13 @@ type t = {
   mutable last_page : page;
 }
 
+let c_loads = Obs.Counter.make "harrier.shadow.loads"
+let c_stores = Obs.Counter.make "harrier.shadow.stores"
+
+(* A gauge: +1 on page allocation, -1 on reclaim, so the counter's
+   current value is the number of live pages. *)
+let c_pages_live = Obs.Counter.make "harrier.shadow.pages_live"
+
 let create () =
   { regs = Array.make Isa.Reg.count Taint.Tagset.empty;
     pages = Hashtbl.create 64; tagged = 0; last_idx = min_int;
@@ -39,6 +46,7 @@ let create () =
 
 let clone s =
   let pages = Hashtbl.create (Hashtbl.length s.pages) in
+  Obs.Counter.add c_pages_live (Hashtbl.length s.pages);
   Hashtbl.iter
     (fun idx p ->
       Hashtbl.add pages idx { data = Array.copy p.data; live = p.live })
@@ -66,15 +74,18 @@ let get_page s idx =
   end
 
 let add_page s idx p =
+  Obs.Counter.incr c_pages_live;
   Hashtbl.add s.pages idx p;
   s.last_idx <- idx;
   s.last_page <- p
 
 let remove_page s idx =
+  Obs.Counter.add c_pages_live (-1);
   Hashtbl.remove s.pages idx;
   if s.last_idx = idx then s.last_page <- no_page
 
 let byte s addr =
+  Obs.Counter.incr c_loads;
   let p = get_page s (addr asr page_bits) in
   if p == no_page then Taint.Tagset.empty
   else p.data.(addr land page_mask)
@@ -82,6 +93,7 @@ let byte s addr =
 let fresh_page () = { data = Array.make page_size Taint.Tagset.empty; live = 0 }
 
 let set_byte s addr tag =
+  Obs.Counter.incr c_stores;
   let idx = addr asr page_bits in
   let p = get_page s idx in
   if p != no_page && p.data.(addr land page_mask) == tag then
@@ -135,6 +147,7 @@ let union_in_page p off n acc =
   go off acc
 
 let range s addr len =
+  Obs.Counter.incr c_loads;
   let off = addr land page_mask in
   if len = 1 then begin
     (* single byte — every byte-sized mov lands here *)
@@ -204,6 +217,7 @@ let set_in_page s idx off n tag =
 let set_range s addr len tag =
   if len = 1 then set_byte s addr tag
   else if len > 0 then begin
+    Obs.Counter.incr c_stores;
     let off = addr land page_mask in
     if off + len <= page_size then
       set_in_page s (addr asr page_bits) off len tag

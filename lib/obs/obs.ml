@@ -1,0 +1,197 @@
+(* Zero-dependency observability: counters, histograms, span timers and
+   a pluggable structured-event sink.
+
+   Discipline: the disabled paths must be free.  [Counter.incr] is a
+   single unboxed field write (safe on per-instruction paths), and trace
+   emission sites guard on [Trace.enabled] *before* building their field
+   lists, so the no-op sink allocates nothing.  Wall-clock time never
+   enters the trace — only the monotone step index — so traces of a
+   deterministic simulation are byte-identical across runs; timings go
+   to histograms, which surface in stats only. *)
+
+type value = Int of int | Str of string | Bool of bool
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+
+module Counter = struct
+  type t = { name : string; mutable v : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { name; v = 0 } in
+      Hashtbl.add registry name c;
+      c
+
+  let labeled base label = make (base ^ "." ^ label)
+
+  let[@inline] incr c = c.v <- c.v + 1
+  let[@inline] add c n = c.v <- c.v + n
+  let value c = c.v
+  let name c = c.name
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histograms (count / sum / min / max — enough to see shape and cost) *)
+
+module Histogram = struct
+  type t = {
+    h_name : string;
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+      let h = { h_name = name; count = 0; sum = 0.; min = infinity;
+                max = neg_infinity }
+      in
+      Hashtbl.add registry name h;
+      h
+
+  let observe h x =
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. x;
+    if x < h.min then h.min <- x;
+    if x > h.max then h.max <- x
+
+  let name h = h.h_name
+  let count h = h.count
+  let sum h = h.sum
+  let mean h = if h.count = 0 then 0. else h.sum /. float_of_int h.count
+end
+
+(* ------------------------------------------------------------------ *)
+(* Span timers: wall-clock durations recorded into histograms.  The
+   clock is pluggable ([Sys.time] by default, so the library stays
+   dependency-free); durations are observability data, never trace
+   data.                                                               *)
+
+module Span = struct
+  let clock = ref Sys.time
+
+  let set_clock f = clock := f
+
+  let time h f =
+    let t0 = !clock () in
+    let finish () = Histogram.observe h (!clock () -. t0) in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry snapshots                                                  *)
+
+type snapshot = (string * int) list
+
+let snapshot () : snapshot =
+  Hashtbl.fold (fun name c acc -> (name, c.Counter.v) :: acc)
+    Counter.registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Counters only ever grow (gauges aside), so [diff] reports the
+   per-interval activity: [after - before], dropping untouched
+   counters. *)
+let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
+  let base = Hashtbl.create (List.length before) in
+  List.iter (fun (n, v) -> Hashtbl.replace base n v) before;
+  List.filter_map
+    (fun (n, v) ->
+      let d = v - (match Hashtbl.find_opt base n with Some b -> b | None -> 0)
+      in
+      if d = 0 then None else Some (n, d))
+    after
+
+let histograms () =
+  Hashtbl.fold (fun _ h acc -> h :: acc) Histogram.registry []
+  |> List.sort (fun a b ->
+         String.compare a.Histogram.h_name b.Histogram.h_name)
+
+(* ------------------------------------------------------------------ *)
+(* Structured-event trace sink                                         *)
+
+module Trace = struct
+  type sink = Noop | Line of (string -> unit)
+
+  let sink = ref Noop
+  let step = ref 0
+
+  let[@inline] enabled () =
+    match !sink with Noop -> false | Line _ -> true
+
+  let install line =
+    sink := Line line;
+    step := 0
+
+  let to_channel oc =
+    install (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+
+  let to_buffer b =
+    install (fun l ->
+        Buffer.add_string b l;
+        Buffer.add_char b '\n')
+
+  let disable () = sink := Noop
+
+  let steps () = !step
+
+  let add_escaped buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let add_value buf = function
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Str s ->
+      Buffer.add_char buf '"';
+      add_escaped buf s;
+      Buffer.add_char buf '"'
+
+  let emit ev fields =
+    match !sink with
+    | Noop -> ()
+    | Line out ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf "{\"step\":";
+      Buffer.add_string buf (string_of_int !step);
+      Buffer.add_string buf ",\"ev\":\"";
+      add_escaped buf ev;
+      Buffer.add_char buf '"';
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf ",\"";
+          add_escaped buf k;
+          Buffer.add_string buf "\":";
+          add_value buf v)
+        fields;
+      Buffer.add_char buf '}';
+      incr step;
+      out (Buffer.contents buf)
+end

@@ -1,0 +1,99 @@
+(** Zero-dependency observability: counters, histograms, span timers
+    and a pluggable structured-event sink.
+
+    Overhead discipline: the library must be free when observability is
+    off.  {!Counter.incr} is one unboxed field write — cheap enough for
+    per-instruction paths.  {!Trace.emit} does nothing under the no-op
+    sink, and call sites are expected to guard with {!Trace.enabled}
+    before building field lists so the disabled path allocates nothing.
+    Wall-clock time never enters the trace (only a monotone step
+    index), so traces of a deterministic simulation are byte-identical
+    across runs. *)
+
+(** A structured field value for trace events. *)
+type value = Int of int | Str of string | Bool of bool
+
+(** Monotone named counters, registered globally by name.  [make] on an
+    existing name returns the same counter, so modules can declare
+    counters at top level without coordination. *)
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** [make name] registers (or retrieves) the counter [name]. *)
+
+  val labeled : string -> string -> t
+  (** [labeled base label] is [make (base ^ "." ^ label)] — counter
+      families keyed by a dynamic label (syscall name, rule name,
+      severity, event kind). *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  (** [add] also serves gauges: pass a negative delta to decrement. *)
+
+  val value : t -> int
+  val name : t -> string
+end
+
+(** Scalar distributions: count, sum, min, max. *)
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  val observe : t -> float -> unit
+  val name : t -> string
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+end
+
+(** Wall-clock span timing into a histogram.  The clock is pluggable
+    ([Sys.time] by default); durations go to stats, never to the
+    trace. *)
+module Span : sig
+  val set_clock : (unit -> float) -> unit
+
+  val time : Histogram.t -> (unit -> 'a) -> 'a
+  (** [time h f] runs [f], observing its duration (in the clock's
+      units) into [h] — also on exception. *)
+end
+
+type snapshot = (string * int) list
+(** Counter values, sorted by name. *)
+
+val snapshot : unit -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** [diff ~before ~after] is the per-interval activity [after - before],
+    dropping untouched counters. *)
+
+val histograms : unit -> Histogram.t list
+(** All registered histograms, sorted by name. *)
+
+(** The structured-event sink.  Exactly one global sink: the no-op
+    backend (default, near-zero overhead) or a JSONL line writer.
+    Every emitted event carries a monotone [step] index, reset to 0
+    when a sink is installed. *)
+module Trace : sig
+  val enabled : unit -> bool
+  (** Guard allocation-heavy emission sites on this. *)
+
+  val emit : string -> (string * value) list -> unit
+  (** [emit ev fields] writes one JSONL line
+      [{"step":N,"ev":ev,...fields}] and bumps the step index.  No-op
+      (and allocation-free) when no sink is installed. *)
+
+  val to_channel : out_channel -> unit
+  (** Install the JSONL backend writing to a channel; resets the step
+      index. *)
+
+  val to_buffer : Buffer.t -> unit
+  (** Install the JSONL backend writing to a buffer; resets the step
+      index. *)
+
+  val disable : unit -> unit
+  (** Restore the no-op backend. *)
+
+  val steps : unit -> int
+  (** Events emitted since the current sink was installed. *)
+end

@@ -33,7 +33,11 @@ type t = {
   console_buf : Buffer.t;
   mutable clones : int;
   mutable max_live : int;
+  mutable last_run_pid : int;  (* previous quantum's pid, for switch count *)
 }
+
+let c_syscalls = Obs.Counter.make "osim.syscalls"
+let c_switches = Obs.Counter.make "osim.context_switches"
 
 let stack_top = 0xFF000
 
@@ -43,7 +47,8 @@ let create ?(quantum = 2000) ?(max_procs = 48) ?monitor ?hooks
   let hooks = match hooks with Some h -> h | None -> Vm.Machine.no_hooks () in
   { k_fs = fs; k_net = net; k_monitor = monitor; k_hooks = hooks; quantum;
     max_procs; procs = []; next_pid = 1; k_ticks = 0; input = user_input;
-    console_buf = Buffer.create 256; clones = 0; max_live = 0 }
+    console_buf = Buffer.create 256; clones = 0; max_live = 0;
+    last_run_pid = -1 }
 
 let fs k = k.k_fs
 let net k = k.k_net
@@ -455,22 +460,38 @@ let handle_syscall k (p : Process.t) ~retry =
       if p.state = Waiting_io then p.state <- Runnable;
       Log.debug (fun f ->
           f "[%d] pid %d %a" k.k_ticks p.pid Syscall.pp sc);
+      if not retry then begin
+        Obs.Counter.incr c_syscalls;
+        Obs.Counter.incr (Obs.Counter.labeled "osim.syscalls" (Syscall.name sc))
+      end;
+      let trace_done result =
+        if Obs.Trace.enabled () then
+          Obs.Trace.emit "syscall"
+            [ "call", Obs.Str (Syscall.name sc); "pid", Obs.Int p.pid;
+              "tick", Obs.Int k.k_ticks; "result", Obs.Int result ]
+      in
       match execute k p sc with
       | exception Vm.Machine.Fault_exn f ->
         p.state <- Killed (Fmt.str "syscall fault: %a" Vm.Machine.pp_fault f)
       | Done r ->
         Vm.Machine.set_reg m EAX r;
         p.pending <- None;
+        trace_done r;
         k.k_monitor.on_post_syscall p sc ~result:r
       | Block ->
         p.state <- Waiting_io;
         p.pending <- Some nr
       | Exec_ed ->
         p.pending <- None;
+        trace_done 0;
         k.k_monitor.on_post_syscall p sc ~result:0
     end
 
 let run_quantum k (p : Process.t) =
+  if p.pid <> k.last_run_pid then begin
+    Obs.Counter.incr c_switches;
+    k.last_run_pid <- p.pid
+  end;
   let steps = ref 0 in
   (* constructor match, not polymorphic compare — this test runs once
      per simulated instruction *)

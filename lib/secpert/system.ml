@@ -9,6 +9,8 @@ type t = {
   mutable count : int;
 }
 
+let c_warnings = Obs.Counter.make "secpert.warnings"
+
 let create ?(trust = Trust.default)
     ?(thresholds = Context.default_thresholds) ?auto_kill
     ?(policy = Native) () =
@@ -20,7 +22,19 @@ let create ?(trust = Trust.default)
       warn =
         (fun w ->
           t.warnings <- w :: t.warnings;
-          t.count <- t.count + 1) }
+          t.count <- t.count + 1;
+          Obs.Counter.incr c_warnings;
+          Obs.Counter.incr
+            (Obs.Counter.labeled "secpert.warnings"
+               (Severity.label w.Warning.severity));
+          if Obs.Trace.enabled () then
+            Obs.Trace.emit "warning"
+              [ "severity", Obs.Str (Severity.label w.Warning.severity);
+                "rule", Obs.Str w.Warning.rule;
+                "pid", Obs.Int w.Warning.pid;
+                "tick", Obs.Int w.Warning.time;
+                "rare", Obs.Bool w.Warning.rare;
+                "message", Obs.Str w.Warning.message ]) }
   in
   (match policy with
    | Native ->

@@ -31,11 +31,19 @@ module Intern = Hashtbl.Make (Key)
 let intern_tbl : t Intern.t = Intern.create 509
 let next_id = ref 0
 
+let c_intern_hits = Obs.Counter.make "taint.intern.hits"
+let c_intern_misses = Obs.Counter.make "taint.intern.misses"
+let c_memo_hits = Obs.Counter.make "taint.union_memo.hits"
+let c_memo_misses = Obs.Counter.make "taint.union_memo.misses"
+
 let intern set =
   let key = S.elements set in
   match Intern.find_opt intern_tbl key with
-  | Some t -> t
+  | Some t ->
+    Obs.Counter.incr c_intern_hits;
+    t
   | None ->
+    Obs.Counter.incr c_intern_misses;
     let t = { id = !next_id; set } in
     incr next_id;
     Intern.add intern_tbl key t;
@@ -92,8 +100,12 @@ let union a b =
     in
     (* low bits hold one id, bits 31+ the other; fold them together *)
     let h = (packed lxor (packed lsr 29)) land memo_mask in
-    if memo_keys.(h) = packed then memo_vals.(h)
+    if memo_keys.(h) = packed then begin
+      Obs.Counter.incr c_memo_hits;
+      memo_vals.(h)
+    end
     else begin
+      Obs.Counter.incr c_memo_misses;
       let r = intern (S.union a.set b.set) in
       memo_keys.(h) <- packed;
       memo_vals.(h) <- r;

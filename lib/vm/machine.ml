@@ -130,18 +130,30 @@ let segment_at m addr =
     (fun s -> addr >= s.seg_base && addr < s.seg_base + Array.length s.seg_insns)
     m.segs
 
+(* Observability: the per-instruction counters are single unboxed field
+   writes (see lib/obs), cheap enough for the step loop. *)
+let c_instructions = Obs.Counter.make "vm.instructions"
+let c_blocks = Obs.Counter.make "vm.blocks"
+let c_fetch_hits = Obs.Counter.make "vm.fetch_cache.hits"
+let c_fetch_misses = Obs.Counter.make "vm.fetch_cache.misses"
+
 (* Allocation-free fetch: hit the cached segment or rescan; [no_seg]
    means no segment maps [addr]. *)
 let seg_for m addr =
   let s = m.cur_seg in
   if addr - s.seg_base >= 0 && addr - s.seg_base < Array.length s.seg_insns
-  then s
-  else
+  then begin
+    Obs.Counter.incr c_fetch_hits;
+    s
+  end
+  else begin
+    Obs.Counter.incr c_fetch_misses;
     match segment_at m addr with
     | Some s ->
       m.cur_seg <- s;
       s
     | None -> no_seg
+  end
 
 let fetch m addr =
   let s = seg_for m addr in
@@ -330,7 +342,11 @@ let step m =
     else begin
       let insn = seg.seg_insns.(m.eip - seg.seg_base) in
       try
-        if m.at_bb_start then m.h.on_bb m m.eip;
+        Obs.Counter.incr c_instructions;
+        if m.at_bb_start then begin
+          Obs.Counter.incr c_blocks;
+          m.h.on_bb m m.eip
+        end;
         m.h.pre_insn m m.eip insn;
         m.at_bb_start <- Isa.Insn.writes_control_flow insn;
         exec m insn

@@ -1,0 +1,35 @@
+#!/bin/sh
+# One-stop local CI: build, full test suite, and the trace determinism
+# gate (every golden scenario run twice; the two JSONL traces must be
+# byte-identical).  See DESIGN.md "Observability" and EXPERIMENTS.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @check =="
+dune build @check
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== determinism gate =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+status=0
+for s in "ElmExploit" "nlspath" "procex" "grabem" "vixie crontab" \
+         "pma" "superforker" "ls" "column"; do
+  f=$(echo "$s" | tr ' ' '_')
+  dune exec bin/hth_run.exe -- run "$s" --trace "$tmp/$f.1.jsonl" >/dev/null
+  dune exec bin/hth_run.exe -- run "$s" --trace "$tmp/$f.2.jsonl" >/dev/null
+  if cmp -s "$tmp/$f.1.jsonl" "$tmp/$f.2.jsonl"; then
+    echo "  ok: $s"
+  else
+    echo "  NONDETERMINISTIC TRACE: $s" >&2
+    diff "$tmp/$f.1.jsonl" "$tmp/$f.2.jsonl" | head -10 >&2 || true
+    status=1
+  fi
+done
+
+[ "$status" -eq 0 ] && echo "all checks passed"
+exit "$status"

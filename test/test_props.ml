@@ -498,6 +498,70 @@ let prop_dataflow_matches_reference =
         reference)
 
 (* ------------------------------------------------------------------ *)
+(* Observability counters vs ground truth: run a random straight-line
+   program (ALU steps, then 0-3 writes to stdout, then Hlt) under a
+   full session and check the counters the run collected against
+   quantities we can compute exactly.                                   *)
+
+let write_block : Isa.Insn.t list =
+  [ Mov (W, Reg EAX, Imm 4) (* SYS_write *);
+    Mov (W, Reg EBX, Imm 1) (* stdout *);
+    Mov (W, Reg ECX, Imm 0x4000);
+    Mov (W, Reg EDX, Imm 8);
+    Int 0x80 ]
+
+let prop_obs_counters_ground_truth =
+  Test.make ~name:"obs counters agree with ground truth" ~count:30
+    (make
+       ~print:(fun (steps, writes) ->
+         Printf.sprintf "alu=%d writes=%d" (List.length steps) writes)
+       Gen.(
+         pair
+           (list_size (int_bound 15)
+              (triple rop_gen bool (int_bound 0xFFFF)))
+           (int_bound 3)))
+    (fun (steps, writes) ->
+      let insns =
+        List.map insn_of_step steps
+        @ List.concat (List.init writes (fun _ -> write_block))
+        @ [ Isa.Insn.Hlt ]
+      in
+      let img =
+        Binary.Image.make ~path:"/p" ~kind:Binary.Image.Executable
+          ~base:0x1000 ~text:(Array.of_list insns) ~sections:[]
+          ~exports:[] ~relocs:[] ~needed:[] ~entry:0x1000
+      in
+      let buf = Buffer.create 1024 in
+      Obs.Trace.to_buffer buf;
+      let r =
+        Fun.protect
+          ~finally:Obs.Trace.disable
+          (fun () ->
+            Hth.Session.run
+              (Hth.Session.setup ~programs:[ img ] ~main:"/p" ()))
+      in
+      let stat name = Option.value (List.assoc_opt name r.stats) ~default:0 in
+      let flow_lines =
+        String.split_on_char '\n' (Buffer.contents buf)
+        |> List.filter (fun l ->
+               Astring.String.is_infix ~affix:{|"ev":"flow"|} l)
+        |> List.length
+      in
+      let per_kind_sum =
+        List.fold_left
+          (fun acc kind -> acc + stat ("harrier.events." ^ kind))
+          0
+          [ "exec"; "clone"; "access"; "alloc"; "transfer" ]
+      in
+      (* one instruction per kernel tick; no blocking syscall retries *)
+      stat "vm.instructions" = List.length steps + (5 * writes) + 1
+      && stat "vm.instructions" = r.os_report.rep_ticks
+      && stat "harrier.events" = r.event_count
+      && per_kind_sum = r.event_count
+      && flow_lines = r.event_count
+      && stat "secpert.warnings" = List.length r.warnings)
+
+(* ------------------------------------------------------------------ *)
 (* Trace round trip for random events                                   *)
 
 let resource_gen =
@@ -575,6 +639,55 @@ let props =
     prop_string_roundtrip; prop_machine_matches_reference;
     prop_fs_roundtrip; prop_shadow_range_union; prop_engine_refraction;
     prop_secure_no_data; prop_trace_roundtrip;
-    prop_dataflow_matches_reference ]
+    prop_dataflow_matches_reference; prop_obs_counters_ground_truth ]
 
-let suite = List.map QCheck_alcotest.to_alcotest props
+(* ------------------------------------------------------------------ *)
+(* Reproducible randomness.  QCHECK_SEED=<int> pins the generator seed;
+   without it a fresh seed is drawn, and any failing case prints the
+   seed so the exact run can be replayed.                               *)
+
+(* Pure so it is unit-testable: the environment value wins when it
+   parses as an integer, otherwise fall back to the fresh draw. *)
+let resolve_seed ~env ~fresh =
+  match env with
+  | None -> fresh
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n -> n
+     | None -> fresh)
+
+let seed =
+  resolve_seed
+    ~env:(Sys.getenv_opt "QCHECK_SEED")
+    ~fresh:(Random.self_init (); Random.int 1_000_000_000)
+
+let to_alcotest_seeded test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest
+      ~rand:(Random.State.make [| seed |])
+      test
+  in
+  let run () =
+    try run ()
+    with e ->
+      Printf.eprintf
+        "\n[qcheck] reproduce this failure with: QCHECK_SEED=%d dune \
+         runtest --force\n\
+         %!"
+        seed;
+      raise e
+  in
+  (name, speed, run)
+
+let seed_resolution_case =
+  Alcotest.test_case "QCHECK_SEED resolution" `Quick (fun () ->
+      let check msg want ~env =
+        Alcotest.(check int) msg want (resolve_seed ~env ~fresh:7)
+      in
+      check "env wins" 42 ~env:(Some "42");
+      check "whitespace tolerated" 42 ~env:(Some " 42\n");
+      check "negative accepted" (-3) ~env:(Some "-3");
+      check "garbage falls back to fresh" 7 ~env:(Some "not-a-seed");
+      check "absent falls back to fresh" 7 ~env:None)
+
+let suite = seed_resolution_case :: List.map to_alcotest_seeded props
