@@ -8,7 +8,7 @@
    the sessions themselves report through — rather than repeated
    List.filter passes over a retained result list. *)
 
-let run () =
+let rec run () =
   let before = Obs.snapshot () in
   let tally label = Obs.Counter.incr (Obs.Counter.labeled "bench.metrics" label) in
   let is_malicious (sc : Guest.Scenario.t) =
@@ -54,4 +54,46 @@ let run () =
   if fp > 0 || fn > 0 then
     Printf.printf
       "note: nonzero FP/FN indicates disagreement with the scenario \
-       expectations — see the classification tables.\n"
+       expectations — see the classification tables.\n";
+  run_chaos ()
+
+(* Robustness tally: the same corpus pass under a seeded fault plan and
+   a tight shadow-page budget, reported through the counter families the
+   substrate maintains — [session.outcome.<kind>] (supervisor outcomes),
+   [osim.faults.injected.<errno>] (what the plan delivered) and
+   [harrier.degraded] (shadows that saturated). *)
+and run_chaos () =
+  let seed = 42 in
+  let budgets =
+    { Hth.Session.no_budgets with b_shadow_pages = Some 64 }
+  in
+  let before = Obs.snapshot () in
+  List.iter
+    (fun (sc : Guest.Scenario.t) ->
+      ignore
+        (Hth.Session.run_outcome ~fault:(Osim.Fault.seeded seed) ~budgets
+           sc.sc_setup))
+    Guest.Corpus.all;
+  let stats = Obs.diff ~before ~after:(Obs.snapshot ()) in
+  let prefixed p =
+    List.filter_map
+      (fun (n, v) ->
+        let lp = String.length p in
+        if String.length n > lp && String.sub n 0 lp = p then
+          Some [ n; string_of_int v ]
+        else None)
+      stats
+  in
+  let flat n =
+    match List.assoc_opt n stats with
+    | Some v -> [ [ n; string_of_int v ] ]
+    | None -> []
+  in
+  Grid.print
+    ~title:(Printf.sprintf "Robustness under seeded faults (seed %d)" seed)
+    ~headers:[ "Counter"; "Value" ]
+    (prefixed "session.outcome."
+    @ prefixed "osim.faults.injected."
+    @ flat "osim.faults.injected"
+    @ flat "harrier.degraded"
+    @ flat "secpert.warnings.dropped")

@@ -74,8 +74,71 @@ let stats_flag =
   let doc = "Print the observability counters collected during the run." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+(* Fault plans and budgets are validated by cmdliner converters, so a
+   malformed SPEC is a usage error (cmdliner's CLI-error exit code), not
+   a crash deep in the run. *)
+
+let fault_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Osim.Fault.parse s) in
+  let print ppf p = Fmt.string ppf (Osim.Fault.to_string p) in
+  Arg.conv (parse, print)
+
+let fault_plan_arg =
+  let doc =
+    "Inject deterministic syscall faults.  $(docv) is a comma-separated \
+     list of rules CALL[@RESOURCE][#N]=KIND — CALL a syscall name or *, \
+     RESOURCE a resource-name substring, N the 1-based occurrence, KIND \
+     one of enoent, eio, enomem, eagain, ebadf, econnreset, short, \
+     stall.  Example: SYS_open@/etc/passwd#2=enoent,SYS_read=short"
+  in
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "fault-plan" ] ~docv:"SPEC" ~doc)
+
+let seed_arg =
+  let doc =
+    "Inject pseudo-random (but fully deterministic) syscall faults drawn \
+     from the given seed.  Mutually exclusive with $(b,--fault-plan)."
+  in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+
+let budget_conv =
+  let parse s =
+    match Hth.Session.parse_budgets [ s ] with
+    | Ok _ -> Ok s
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Fmt.string)
+
+let budget_args =
+  let doc =
+    "Bound one session resource (repeatable).  $(docv) is KEY=N with KEY \
+     one of ticks, wm, shadow-pages, warnings.  Budgets degrade \
+     gracefully: the run completes and is flagged degraded."
+  in
+  Arg.(value & opt_all budget_conv [] & info [ "budget" ] ~docv:"KEY=N" ~doc)
+
+let fault_of plan seed =
+  match plan, seed with
+  | Some _, Some _ ->
+    Printf.eprintf "--fault-plan and --seed are mutually exclusive\n";
+    exit 2
+  | Some p, None -> p
+  | None, Some s -> Osim.Fault.seeded s
+  | None, None -> Osim.Fault.none
+
+let budgets_of specs =
+  (* specs were validated one by one by [budget_conv] *)
+  match Hth.Session.parse_budgets specs with
+  | Ok b -> b
+  | Error e ->
+    Printf.eprintf "%s\n" e;
+    exit 2
+
 let run_scenario name events no_dataflow no_freq no_shortcircuit
-    trust_nothing clips verbose kill_at trace_file stats =
+    trust_nothing clips verbose kill_at trace_file stats fault_plan seed
+    budget_specs =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -117,24 +180,31 @@ let run_scenario name events no_dataflow no_freq no_shortcircuit
           oc)
         trace_file
     in
-    let r =
+    let outcome =
       Fun.protect
         ~finally:(fun () ->
           Obs.Trace.disable ();
           Option.iter close_out trace_oc)
         (fun () ->
-          Hth.Session.run ~monitor_config ~trust ~policy ?auto_kill
-            sc.sc_setup)
+          Hth.Session.run_outcome ~monitor_config ~trust ~policy ?auto_kill
+            ~budgets:(budgets_of budget_specs)
+            ~fault:(fault_of fault_plan seed) sc.sc_setup)
     in
-    Fmt.pr "%a@." (Hth.Report.pp_result ~verbose:events) r;
-    Fmt.pr "expected: %s@."
-      (Guest.Scenario.expected_label sc.sc_expected);
-    Fmt.pr "%a@." Osim.Kernel.pp_report r.os_report;
-    if stats then Fmt.pr "%a@." Hth.Report.pp_stats r.stats;
-    if
-      not
-        (Guest.Scenario.matches sc.sc_expected (Hth.Report.verdict r))
-    then exit 1
+    (match outcome with
+     | Error e ->
+       (* one-line typed diagnosis; the exit code identifies the class *)
+       Fmt.epr "hth_run: %s: %a@." name Hth.Error.pp e;
+       exit (Hth.Error.exit_code e)
+     | Ok r ->
+       Fmt.pr "%a@." (Hth.Report.pp_result ~verbose:events) r;
+       Fmt.pr "expected: %s@."
+         (Guest.Scenario.expected_label sc.sc_expected);
+       Fmt.pr "%a@." Osim.Kernel.pp_report r.os_report;
+       if stats then Fmt.pr "%a@." Hth.Report.pp_stats r.stats;
+       if
+         not
+           (Guest.Scenario.matches sc.sc_expected (Hth.Report.verdict r))
+       then exit 1)
 
 let run_cmd =
   let doc = "Run one scenario under HTH monitoring." in
@@ -142,7 +212,73 @@ let run_cmd =
     Term.(
       const run_scenario $ scenario_arg $ events_flag $ no_dataflow_flag
       $ no_freq_flag $ no_shortcircuit_flag $ trust_nothing_flag
-      $ clips_flag $ verbose_flag $ kill_at_arg $ trace_arg $ stats_flag)
+      $ clips_flag $ verbose_flag $ kill_at_arg $ trace_arg $ stats_flag
+      $ fault_plan_arg $ seed_arg $ budget_args)
+
+(* ------------------------------------------------------------------ *)
+(* batch: the whole corpus, crash-isolated                             *)
+
+let batch_cmd =
+  let doc =
+    "Run the whole corpus, isolating per-scenario failures.  Prints one \
+     summary row per scenario and exits nonzero if any scenario errored \
+     or missed its expected verdict — without a single broken scenario \
+     aborting the rest."
+  in
+  let run trust_nothing clips kill_at fault_plan seed budget_specs =
+    let budgets = budgets_of budget_specs in
+    let fault = fault_of fault_plan seed in
+    let trust =
+      if trust_nothing then Secpert.Trust.nothing else Secpert.Trust.default
+    in
+    let auto_kill =
+      Option.map
+        (fun s ->
+          match Secpert.Severity.of_label (String.uppercase_ascii s) with
+          | Some sev -> sev
+          | None ->
+            Printf.eprintf "bad severity %S (LOW|MEDIUM|HIGH)\n" s;
+            exit 2)
+        kill_at
+    in
+    let policy =
+      if clips then Secpert.System.Clips else Secpert.System.Native
+    in
+    let failures = ref 0 and errors = ref 0 and degraded = ref 0 in
+    Fmt.pr "%-40s %-18s %-22s %s@." "scenario" "expected" "outcome" "notes";
+    List.iter
+      (fun (sc : Guest.Scenario.t) ->
+        match
+          Hth.Session.run_outcome ~trust ~policy ?auto_kill ~budgets ~fault
+            sc.sc_setup
+        with
+        | Error e ->
+          incr errors;
+          Fmt.pr "%-40s %-18s %-22s %a@." sc.sc_name
+            (Guest.Scenario.expected_label sc.sc_expected)
+            (Fmt.str "error[%s]" (Hth.Error.kind e))
+            Hth.Error.pp e
+        | Ok r ->
+          let v = Hth.Report.verdict r in
+          let ok = Guest.Scenario.matches sc.sc_expected v in
+          if not ok then incr failures;
+          if r.degraded <> [] then incr degraded;
+          Fmt.pr "%-40s %-18s %-22s %s@." sc.sc_name
+            (Guest.Scenario.expected_label sc.sc_expected)
+            (Hth.Report.verdict_label v)
+            (String.concat "; "
+               ((if ok then [] else [ "MISMATCH" ])
+               @ if r.degraded = [] then [] else [ "degraded" ])))
+      Guest.Corpus.all;
+    Fmt.pr "@.%d scenarios: %d verdict mismatches, %d errors, %d degraded@."
+      (List.length Guest.Corpus.all)
+      !failures !errors !degraded;
+    if !failures > 0 || !errors > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const run $ trust_nothing_flag $ clips_flag $ kill_at_arg
+      $ fault_plan_arg $ seed_arg $ budget_args)
 
 let trace_cmd =
   let doc =
@@ -198,4 +334,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group ~default info [ list_cmd; run_cmd; trace_cmd; replay_cmd ]))
+       (Cmd.group ~default info
+          [ list_cmd; run_cmd; batch_cmd; trace_cmd; replay_cmd ]))

@@ -1,0 +1,34 @@
+type t =
+  | Load_failure of { path : string; reason : string }
+  | Policy_error of string
+  | Budget_exceeded of { what : string; limit : int }
+  | Crash of { phase : string; exn : string }
+
+exception Error_exn of t
+
+let to_string = function
+  | Load_failure { path; reason } ->
+    Fmt.str "load failure: %s: %s" path reason
+  | Policy_error msg -> Fmt.str "policy error: %s" msg
+  | Budget_exceeded { what; limit } ->
+    Fmt.str "budget exceeded: %s (limit %d)" what limit
+  | Crash { phase; exn } -> Fmt.str "crash in %s: %s" phase exn
+
+let pp ppf e = Fmt.string ppf (to_string e)
+
+let kind = function
+  | Load_failure _ -> "load_failure"
+  | Policy_error _ -> "policy_error"
+  | Budget_exceeded _ -> "budget_exceeded"
+  | Crash _ -> "crash"
+
+let exit_code = function
+  | Load_failure _ -> 3
+  | Policy_error _ -> 4
+  | Budget_exceeded _ -> 5
+  | Crash _ -> 6
+
+let () =
+  Printexc.register_printer (function
+    | Error_exn e -> Some ("Hth.Error: " ^ to_string e)
+    | _ -> None)

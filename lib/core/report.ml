@@ -20,8 +20,11 @@ let verdict_label = function
 let pp_verdict ppf v = Fmt.string ppf (verdict_label v)
 
 let pp_result ~verbose ppf (r : Session.result) =
-  Fmt.pf ppf "@[<v>verdict: %a@,warnings: %d (%d distinct)@,@]" pp_verdict
-    (verdict r) (List.length r.warnings) (List.length r.distinct);
+  Fmt.pf ppf "@[<v>verdict: %a%s@,warnings: %d (%d distinct)@,@]" pp_verdict
+    (verdict r)
+    (if r.degraded = [] then "" else " (degraded)")
+    (List.length r.warnings) (List.length r.distinct);
+  List.iter (fun reason -> Fmt.pf ppf "degraded: %s@," reason) r.degraded;
   List.iter
     (fun w -> Fmt.pf ppf "%s@,@," (Secpert.Warning.to_string w))
     r.distinct;

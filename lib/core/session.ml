@@ -27,8 +27,50 @@ type result = {
   distinct : Secpert.Warning.t list;
   max_severity : Secpert.Severity.t option;
   event_count : int;
+  degraded : string list;
   stats : Obs.snapshot;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor budgets                                                  *)
+
+type budgets = {
+  b_ticks : int option;
+  b_wm_facts : int option;
+  b_shadow_pages : int option;
+  b_warnings : int option;
+}
+
+let no_budgets =
+  { b_ticks = None; b_wm_facts = None; b_shadow_pages = None;
+    b_warnings = None }
+
+let budget_keys = "ticks, wm, shadow-pages, warnings"
+
+let apply_budget b spec =
+  match String.index_opt spec '=' with
+  | None -> Error (Fmt.str "budget %S: expected KEY=N (keys: %s)" spec
+                     budget_keys)
+  | Some eq ->
+    let key = String.sub spec 0 eq in
+    let v = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+    (match int_of_string_opt v with
+     | Some n when n >= 1 ->
+       (match key with
+        | "ticks" -> Ok { b with b_ticks = Some n }
+        | "wm" -> Ok { b with b_wm_facts = Some n }
+        | "shadow-pages" -> Ok { b with b_shadow_pages = Some n }
+        | "warnings" -> Ok { b with b_warnings = Some n }
+        | k ->
+          Error (Fmt.str "budget %S: unknown key %S (keys: %s)" spec k
+                   budget_keys))
+     | Some _ | None ->
+       Error (Fmt.str "budget %S: %S must be a positive int" spec v))
+
+let parse_budgets specs =
+  List.fold_left
+    (fun acc spec -> Result.bind acc (fun b -> apply_budget b spec))
+    (Ok no_budgets) specs
 
 (* Per-phase wall-clock histograms (stats only — never trace data). *)
 let h_build = Obs.Histogram.make "session.phase.build"
@@ -56,35 +98,87 @@ let build_world s =
     s.incoming;
   fs, net
 
-let run ?monitor_config ?trust ?thresholds ?auto_kill ?policy s =
+(* One increment per session under [session.outcome.<kind>]:
+   ok / degraded for completed runs, the {!Error.kind} otherwise. *)
+let note_outcome kind =
+  Obs.Counter.incr (Obs.Counter.labeled "session.outcome" kind)
+
+let run_outcome ?monitor_config ?trust ?thresholds ?auto_kill ?policy
+    ?(budgets = no_budgets) ?(fault = Osim.Fault.none) s =
   let before = Obs.snapshot () in
-  let kernel, monitor, secpert =
+  let fail e =
+    note_outcome (Error.kind e);
+    Stdlib.Error e
+  in
+  let mcfg =
+    let base =
+      Option.value monitor_config ~default:Harrier.Monitor.default_config
+    in
+    match budgets.b_shadow_pages with
+    | None -> base
+    | Some n -> { base with Harrier.Monitor.shadow_page_budget = Some n }
+  in
+  match
     phase "build" h_build (fun () ->
         let fs, net = build_world s in
         let kernel =
-          Osim.Kernel.create ~fs ~net ~user_input:s.user_input ()
+          Osim.Kernel.create ~fs ~net ~user_input:s.user_input ~fault ()
         in
-        let monitor = Harrier.Monitor.attach ?config:monitor_config kernel in
+        let monitor = Harrier.Monitor.attach ~config:mcfg kernel in
         let secpert =
-          Secpert.System.create ?trust ?thresholds ?auto_kill ?policy ()
+          try
+            Secpert.System.create ?trust ?thresholds ?auto_kill
+              ?warning_cap:budgets.b_warnings ?wm_budget:budgets.b_wm_facts
+              ?policy ()
+          with Failure msg -> raise (Error.Error_exn (Error.Policy_error msg))
         in
         Secpert.System.attach secpert monitor;
         kernel, monitor, secpert)
-  in
-  phase "spawn" h_spawn (fun () ->
-      match Osim.Kernel.spawn ~env:s.env kernel ~path:s.main ~argv:s.argv with
-      | Ok _ -> ()
-      | Error msg -> failwith ("Session.run: " ^ msg));
-  let os_report =
-    phase "run" h_run (fun () -> Osim.Kernel.run kernel ~max_ticks:s.max_ticks)
-  in
-  { os_report;
-    events = Harrier.Monitor.events monitor;
-    warnings = Secpert.System.warnings secpert;
-    distinct = Secpert.System.distinct_warnings secpert;
-    max_severity = Secpert.System.max_severity secpert;
-    event_count = Harrier.Monitor.event_count monitor;
-    stats = Obs.diff ~before ~after:(Obs.snapshot ()) }
+  with
+  | exception Error.Error_exn e -> fail e
+  | exception e ->
+    fail (Error.Crash { phase = "build"; exn = Printexc.to_string e })
+  | kernel, monitor, secpert ->
+    (match
+       phase "spawn" h_spawn (fun () ->
+           Osim.Kernel.spawn ~env:s.env kernel ~path:s.main ~argv:s.argv)
+     with
+     | exception e ->
+       fail (Error.Crash { phase = "spawn"; exn = Printexc.to_string e })
+     | Error msg -> fail (Error.Load_failure { path = s.main; reason = msg })
+     | Ok _ ->
+       let max_ticks =
+         match budgets.b_ticks with
+         | Some n -> min s.max_ticks n
+         | None -> s.max_ticks
+       in
+       (match phase "run" h_run (fun () -> Osim.Kernel.run kernel ~max_ticks)
+        with
+        | exception e ->
+          fail (Error.Crash { phase = "run"; exn = Printexc.to_string e })
+        | os_report ->
+          let degraded =
+            Harrier.Monitor.degraded monitor @ Secpert.System.degraded secpert
+          in
+          note_outcome (if degraded = [] then "ok" else "degraded");
+          Ok
+            { os_report;
+              events = Harrier.Monitor.events monitor;
+              warnings = Secpert.System.warnings secpert;
+              distinct = Secpert.System.distinct_warnings secpert;
+              max_severity = Secpert.System.max_severity secpert;
+              event_count = Harrier.Monitor.event_count monitor;
+              degraded;
+              stats = Obs.diff ~before ~after:(Obs.snapshot ()) }))
+
+let run ?monitor_config ?trust ?thresholds ?auto_kill ?policy ?budgets ?fault
+    s =
+  match
+    run_outcome ?monitor_config ?trust ?thresholds ?auto_kill ?policy
+      ?budgets ?fault s
+  with
+  | Ok r -> r
+  | Error e -> raise (Error.Error_exn e)
 
 let run_unmonitored s =
   let fs, net = build_world s in
@@ -92,5 +186,7 @@ let run_unmonitored s =
   (match Osim.Kernel.spawn ~env:s.env kernel ~path:s.main ~argv:s.argv
    with
    | Ok _ -> ()
-   | Error msg -> failwith ("Session.run_unmonitored: " ^ msg));
+   | Error msg ->
+     raise
+       (Error.Error_exn (Error.Load_failure { path = s.main; reason = msg })));
   Osim.Kernel.run kernel ~max_ticks:s.max_ticks

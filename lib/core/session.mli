@@ -47,25 +47,70 @@ type result = {
   distinct : Secpert.Warning.t list;  (** deduplicated *)
   max_severity : Secpert.Severity.t option;
   event_count : int;
+  degraded : string list;
+      (** non-empty when a monitoring budget tripped mid-run: the
+          verdict is still sound but conservative (over-tainting may
+          add warnings, the warning transcript may be truncated).  One
+          human-readable reason per trip. *)
   stats : Obs.snapshot;
       (** observability counters incremented during this run
           (instructions, shadow ops, syscalls by name, rule firings,
           warnings by severity, ...) *)
 }
 
-(** [run setup] executes the experiment.  [monitor_config] tunes Harrier
+(** Supervisor resource budgets for one session.  Every budget degrades
+    gracefully: trips surface in {!result.degraded} (and through
+    over-tainting possibly extra warnings) — they never abort the
+    session. *)
+type budgets = {
+  b_ticks : int option;  (** instruction budget; caps [setup.max_ticks] *)
+  b_wm_facts : int option;  (** Secpert working-memory fact budget *)
+  b_shadow_pages : int option;  (** Harrier shadow pages per process *)
+  b_warnings : int option;  (** stored-warning cap (verdict stays exact) *)
+}
+
+(** All budgets off (unbounded). *)
+val no_budgets : budgets
+
+(** [parse_budgets specs] folds repeated [--budget KEY=N] arguments —
+    keys [ticks], [wm], [shadow-pages], [warnings]; [N] a positive
+    int — over {!no_budgets}. *)
+val parse_budgets : string list -> (budgets, string) Stdlib.result
+
+(** [run_outcome setup] executes the experiment and isolates every
+    session-path failure as a typed {!Error.t}: load failures, policy
+    installation errors and escaped exceptions become [Error] values
+    instead of aborting the process.  [monitor_config] tunes Harrier
     (ablations turn dataflow/frequency/short-circuiting off); [trust],
-    [thresholds] and [auto_kill] configure Secpert.
-    @raise Failure if the main program cannot be loaded. *)
+    [thresholds] and [auto_kill] configure Secpert; [budgets] bounds the
+    run's resources; [fault] injects deterministic syscall faults.
+    Each call increments [session.outcome.<kind>]. *)
+val run_outcome :
+  ?monitor_config:Harrier.Monitor.config ->
+  ?trust:Secpert.Trust.t ->
+  ?thresholds:Secpert.Context.thresholds ->
+  ?auto_kill:Secpert.Severity.t ->
+  ?policy:Secpert.System.policy ->
+  ?budgets:budgets ->
+  ?fault:Osim.Fault.plan ->
+  setup ->
+  (result, Error.t) Stdlib.result
+
+(** [run setup] is {!run_outcome} for callers that treat failure as
+    exceptional.
+    @raise Error.Error_exn on any session-path failure. *)
 val run :
   ?monitor_config:Harrier.Monitor.config ->
   ?trust:Secpert.Trust.t ->
   ?thresholds:Secpert.Context.thresholds ->
   ?auto_kill:Secpert.Severity.t ->
   ?policy:Secpert.System.policy ->
+  ?budgets:budgets ->
+  ?fault:Osim.Fault.plan ->
   setup ->
   result
 
 (** [run_unmonitored setup] executes with a null monitor — the baseline
-    for the Section 9 performance comparison. *)
+    for the Section 9 performance comparison.
+    @raise Error.Error_exn if the main program cannot be loaded. *)
 val run_unmonitored : setup -> Osim.Kernel.report

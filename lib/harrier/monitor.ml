@@ -7,11 +7,13 @@ type config = {
   track_frequency : bool;
   shortcircuit : Shortcircuit.spec list;
   clone_window : int;
+  shadow_page_budget : int option;
 }
 
 let default_config =
   { track_dataflow = true; track_frequency = true;
-    shortcircuit = [ Shortcircuit.gethostbyname ]; clone_window = 3000 }
+    shortcircuit = [ Shortcircuit.gethostbyname ]; clone_window = 3000;
+    shadow_page_budget = None }
 
 (* Per-process monitor state, keyed by the machine (physical equality —
    a machine is the identity of a running program instance). *)
@@ -63,22 +65,42 @@ let events t = List.rev t.log
 
 let event_count t = t.count
 
+let c_unknown = Obs.Counter.make "harrier.unknown_machine"
+
+(* [state_of t m] is [None] for a machine the monitor never saw.  That
+   indicates a wiring bug, but it must not abort the whole session: the
+   hooks and kernel callbacks degrade to no-ops (counted under
+   [harrier.unknown_machine]) and the run is reported, not crashed. *)
 let state_of t m =
   match t.cur with
-  | Some (m', s) when m' == m -> s
+  | Some (m', s) when m' == m -> Some s
   | _ ->
     (match List.find_opt (fun (m', _) -> m' == m) t.pmap with
      | Some ((_, s) as hit) ->
        t.cur <- Some hit;
-       s
+       Some s
      | None ->
-       (* a machine the monitor never saw; should not happen *)
-       failwith "Harrier.Monitor: unknown machine")
+       Obs.Counter.incr c_unknown;
+       Log.warn (fun f -> f "unknown machine: observation dropped");
+       None)
 
 let shadow_of_pid t pid =
   List.find_map
     (fun (_, s) -> if s.pid = pid then Some s.shadow else None)
     t.pmap
+
+(* Human-readable degradation reasons, one per affected process, in pid
+   order (deterministic for reports and traces). *)
+let degraded t =
+  t.pmap
+  |> List.filter (fun (_, s) -> Shadow.degraded s.shadow)
+  |> List.map (fun (_, s) -> s)
+  |> List.sort (fun a b -> compare a.pid b.pid)
+  |> List.map (fun s ->
+         Fmt.str
+           "pid %d: shadow page budget reached (%d live pages); taint \
+            saturated to conservative over-tainting"
+           s.pid (Shadow.live_pages s.shadow))
 
 let imm_tag t image =
   match Hashtbl.find_opt t.imm_tags image with
@@ -154,15 +176,15 @@ let seg_info_at t s m addr =
 
 let hook_bb t m addr =
   match state_of t m with
-  | exception Failure _ -> ()
-  | s ->
+  | None -> ()
+  | Some s ->
     let is_app = (seg_info_at t s m addr).si_app in
     Freq.on_bb t.freq ~pid:s.pid ~is_app addr
 
 let hook_insn t m addr insn =
   match state_of t m with
-  | exception Failure _ -> ()
-  | s ->
+  | None -> ()
+  | Some s ->
     (match (insn : Isa.Insn.t) with
      | Call target ->
        let dest = Vm.Machine.read_operand m Isa.Insn.W target in
@@ -182,7 +204,8 @@ let on_process_start t (p : Osim.Process.t) =
   t.pmap <- List.filter (fun (_, s) -> s.pid <> p.pid) t.pmap;
   t.cur <- None;
   let s =
-    { pid = p.pid; shadow = Shadow.create ();
+    { pid = p.pid;
+      shadow = Shadow.create ?page_budget:t.cfg.shadow_page_budget ();
       sc = Shortcircuit.create t.cfg.shortcircuit; pending_origin = None;
       seg_info = None }
   in
@@ -195,14 +218,16 @@ let on_process_start t (p : Osim.Process.t) =
     (Taint.Tagset.singleton Taint.Source.User_input)
 
 let on_image_load t (p : Osim.Process.t) (img : Binary.Image.t) =
-  let s = state_of t p.machine in
-  (* mappings changed; drop the instruction-hook segment cache *)
-  s.seg_info <- None;
-  let tag = imm_tag t img.path in
-  List.iter
-    (fun (sec : Binary.Section.t) ->
-      Shadow.set_range s.shadow sec.addr (Binary.Section.size sec) tag)
-    img.sections;
+  (match state_of t p.machine with
+   | None -> ()
+   | Some s ->
+     (* mappings changed; drop the instruction-hook segment cache *)
+     s.seg_info <- None;
+     let tag = imm_tag t img.path in
+     List.iter
+       (fun (sec : Binary.Section.t) ->
+         Shadow.set_range s.shadow sec.addr (Binary.Section.size sec) tag)
+       img.sections);
   List.iter
     (fun (e : Binary.Symbol.export) ->
       if
@@ -214,17 +239,19 @@ let on_image_load t (p : Osim.Process.t) (img : Binary.Image.t) =
     img.exports
 
 let on_fork t ~(parent : Osim.Process.t) ~(child : Osim.Process.t) =
-  let ps = state_of t parent.machine in
-  let cs =
-    { pid = child.pid; shadow = Shadow.clone ps.shadow;
-      sc = Shortcircuit.clone ps.sc; pending_origin = ps.pending_origin;
-      seg_info = ps.seg_info }
-  in
-  (* the child's eax holds fork's result, written by the kernel *)
-  Shadow.set_reg cs.shadow EAX Taint.Tagset.empty;
-  t.pmap <- (child.machine, cs) :: t.pmap;
-  Freq.inherit_from t.freq ~parent:parent.pid ~child:child.pid;
-  Resources.inherit_from t.resources ~parent:parent.pid ~child:child.pid
+  match state_of t parent.machine with
+  | None -> ()
+  | Some ps ->
+    let cs =
+      { pid = child.pid; shadow = Shadow.clone ps.shadow;
+        sc = Shortcircuit.clone ps.sc; pending_origin = ps.pending_origin;
+        seg_info = ps.seg_info }
+    in
+    (* the child's eax holds fork's result, written by the kernel *)
+    Shadow.set_reg cs.shadow EAX Taint.Tagset.empty;
+    t.pmap <- (child.machine, cs) :: t.pmap;
+    Freq.inherit_from t.freq ~parent:parent.pid ~child:child.pid;
+    Resources.inherit_from t.resources ~parent:parent.pid ~child:child.pid
 
 let file_resource name origin : Events.resource =
   { r_kind = Events.R_file; r_name = name; r_origin = origin }
@@ -233,7 +260,9 @@ let sock_resource name origin : Events.resource =
   { r_kind = Events.R_socket; r_name = name; r_origin = origin }
 
 let on_pre_syscall t (p : Osim.Process.t) (sc : Osim.Syscall.t) =
-  let s = state_of t p.machine in
+  match state_of t p.machine with
+  | None -> Osim.Kernel.Allow
+  | Some s ->
   let m = p.machine in
   let pid = s.pid in
   match sc with
@@ -317,7 +346,9 @@ let on_pre_syscall t (p : Osim.Process.t) (sc : Osim.Syscall.t) =
   | Socket | Listen _ | Accept _ | Unknown _ -> Osim.Kernel.Allow
 
 let on_post_syscall t (p : Osim.Process.t) (sc : Osim.Syscall.t) ~result =
-  let s = state_of t p.machine in
+  match state_of t p.machine with
+  | None -> ()
+  | Some s ->
   let pid = s.pid in
   (* the syscall result in eax was written by the kernel *)
   Shadow.set_reg s.shadow EAX Taint.Tagset.empty;

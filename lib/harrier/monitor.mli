@@ -13,6 +13,10 @@ type config = {
   shortcircuit : Shortcircuit.spec list;
       (** library routines tracked atomically (Section 7.2) *)
   clone_window : int;  (** ticks; clones within it count as "recent" *)
+  shadow_page_budget : int option;
+      (** bound on live shadow pages per process; when it trips, taint
+          saturates to conservative over-tainting (see {!Shadow.create})
+          and the run is flagged {!degraded}.  [None] = exact tracking *)
 }
 
 (** Everything on: dataflow, frequency, gethostbyname short-circuit,
@@ -39,6 +43,12 @@ val event_count : t -> int
 (** [shadow_of_pid t pid] exposes a process's taint state (tests,
     diagnostics). *)
 val shadow_of_pid : t -> int -> Shadow.t option
+
+(** [degraded t] lists one human-readable reason per process whose
+    shadow tripped its page budget (pid order, deterministic); empty
+    when monitoring stayed exact.  Degraded runs over-taint — they may
+    raise extra warnings but never lose one. *)
+val degraded : t -> string list
 
 (** Table 3 of the paper: (policy rule, instrumentation granularity,
     information gathered), one row per instrumentation point this

@@ -27,6 +27,11 @@ let no_page = { data = [||]; live = 0 }
 type t = {
   regs : Taint.Tagset.t array;
   pages : (int, page) Hashtbl.t;  (* page index -> page *)
+  budget : int;  (* max live pages before saturation (max_int = none) *)
+  mutable overflow : Taint.Tagset.t;
+      (* union of every tag whose store was refused by the budget; once
+         non-empty the shadow is degraded and every read is widened by
+         this set — conservative over-tainting, taint is never lost *)
   mutable tagged : int;  (* total non-empty bytes across pages *)
   mutable last_idx : int;  (* one-entry lookup cache *)
   mutable last_page : page;
@@ -39,10 +44,27 @@ let c_stores = Obs.Counter.make "harrier.shadow.stores"
    current value is the number of live pages. *)
 let c_pages_live = Obs.Counter.make "harrier.shadow.pages_live"
 
-let create () =
+(* One increment per shadow that crosses into saturation. *)
+let c_degraded = Obs.Counter.make "harrier.degraded"
+let c_refused = Obs.Counter.make "harrier.shadow.stores_refused"
+
+let create ?page_budget () =
   { regs = Array.make Isa.Reg.count Taint.Tagset.empty;
-    pages = Hashtbl.create 64; tagged = 0; last_idx = min_int;
+    pages = Hashtbl.create 64;
+    budget = (match page_budget with Some b -> max 0 b | None -> max_int);
+    overflow = Taint.Tagset.empty; tagged = 0; last_idx = min_int;
     last_page = no_page }
+
+let degraded s = not (Taint.Tagset.is_empty s.overflow)
+
+let live_pages s = Hashtbl.length s.pages
+
+(* Refuse a store the page budget cannot accommodate: widen [overflow]
+   instead, so subsequent reads still see the tag (and possibly more). *)
+let refuse s tag =
+  Obs.Counter.incr c_refused;
+  if not (degraded s) then Obs.Counter.incr c_degraded;
+  s.overflow <- Taint.Tagset.union s.overflow tag
 
 let clone s =
   let pages = Hashtbl.create (Hashtbl.length s.pages) in
@@ -51,7 +73,8 @@ let clone s =
     (fun idx p ->
       Hashtbl.add pages idx { data = Array.copy p.data; live = p.live })
     s.pages;
-  { regs = Array.copy s.regs; pages; tagged = s.tagged; last_idx = min_int;
+  { regs = Array.copy s.regs; pages; budget = s.budget;
+    overflow = s.overflow; tagged = s.tagged; last_idx = min_int;
     last_page = no_page }
 
 let[@inline] reg s r = s.regs.(Isa.Reg.index r)
@@ -84,11 +107,18 @@ let remove_page s idx =
   Hashtbl.remove s.pages idx;
   if s.last_idx = idx then s.last_page <- no_page
 
+(* Widen a read by the overflow set when the shadow is degraded; free
+   (one pointer compare) otherwise. *)
+let[@inline] widen s t =
+  if Taint.Tagset.is_empty s.overflow then t
+  else Taint.Tagset.union t s.overflow
+
 let byte s addr =
   Obs.Counter.incr c_loads;
   let p = get_page s (addr asr page_bits) in
-  if p == no_page then Taint.Tagset.empty
-  else p.data.(addr land page_mask)
+  widen s
+    (if p == no_page then Taint.Tagset.empty
+     else p.data.(addr land page_mask))
 
 let fresh_page () = { data = Array.make page_size Taint.Tagset.empty; live = 0 }
 
@@ -101,11 +131,14 @@ let set_byte s addr tag =
     ()
   else if p == no_page then begin
     if not (Taint.Tagset.is_empty tag) then begin
-      let p = fresh_page () in
-      p.data.(addr land page_mask) <- tag;
-      p.live <- 1;
-      s.tagged <- s.tagged + 1;
-      add_page s idx p
+      if Hashtbl.length s.pages >= s.budget then refuse s tag
+      else begin
+        let p = fresh_page () in
+        p.data.(addr land page_mask) <- tag;
+        p.live <- 1;
+        s.tagged <- s.tagged + 1;
+        add_page s idx p
+      end
     end
   end
   else begin
@@ -152,13 +185,14 @@ let range s addr len =
   if len = 1 then begin
     (* single byte — every byte-sized mov lands here *)
     let p = get_page s (addr asr page_bits) in
-    if p == no_page then empty_tag else p.data.(off)
+    widen s (if p == no_page then empty_tag else p.data.(off))
   end
   else if len <= 0 then empty_tag
   else if off + len <= page_size then begin
     (* fast path: the whole range lives in one page *)
     let p = get_page s (addr asr page_bits) in
-    if p == no_page then empty_tag else union_in_page p off len empty_tag
+    widen s
+      (if p == no_page then empty_tag else union_in_page p off len empty_tag)
   end
   else begin
     let acc = ref empty_tag in
@@ -171,7 +205,7 @@ let range s addr len =
       pos := !pos + n;
       remaining := !remaining - n
     done;
-    !acc
+    widen s !acc
   end
 
 (* Store [tag] over bytes [off, off+n) of the page at [idx],
@@ -184,11 +218,14 @@ let set_in_page s idx off n tag =
   if p == no_page then begin
     (* clearing an unmapped page is a no-op *)
     if tag != empty_tag then begin
-      let p = fresh_page () in
-      Array.fill p.data off n tag;
-      p.live <- n;
-      s.tagged <- s.tagged + n;
-      add_page s idx p
+      if Hashtbl.length s.pages >= s.budget then refuse s tag
+      else begin
+        let p = fresh_page () in
+        Array.fill p.data off n tag;
+        p.live <- n;
+        s.tagged <- s.tagged + n;
+        add_page s idx p
+      end
     end
   end
   else begin

@@ -12,7 +12,20 @@
 
 type t
 
-val create : unit -> t
+(** [create ?page_budget ()] builds an empty shadow.  [page_budget]
+    bounds the number of live shadow pages: once reached, stores that
+    would allocate a new page are {e refused} — their tag is folded into
+    a sticky overflow set that widens every subsequent read, so the
+    shadow degrades to conservative over-tainting rather than silently
+    dropping taint.  No budget means unbounded (exact) tracking. *)
+val create : ?page_budget:int -> unit -> t
+
+(** [degraded s] is true once any store has been refused by the page
+    budget; from then on reads over-approximate. *)
+val degraded : t -> bool
+
+(** [live_pages s] is the number of allocated shadow pages. *)
+val live_pages : t -> int
 
 (** [clone s] deep-copies the shadow (fork). *)
 val clone : t -> t

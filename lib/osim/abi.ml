@@ -41,6 +41,7 @@ let sock_send = 9
 let sock_recv = 10
 
 let enoent = 2
+let eio = 5
 let ebadf = 9
 let eagain = 11
 let enomem = 12
@@ -48,7 +49,22 @@ let eacces = 13
 let enoexec = 8
 let einval = 22
 let emfile = 24
+let econnreset = 104
 let econnrefused = 111
+
+let errno_name e =
+  if e = enoent then "ENOENT"
+  else if e = eio then "EIO"
+  else if e = ebadf then "EBADF"
+  else if e = eagain then "EAGAIN"
+  else if e = enomem then "ENOMEM"
+  else if e = eacces then "EACCES"
+  else if e = enoexec then "ENOEXEC"
+  else if e = einval then "EINVAL"
+  else if e = emfile then "EMFILE"
+  else if e = econnreset then "ECONNRESET"
+  else if e = econnrefused then "ECONNREFUSED"
+  else Fmt.str "E%d" e
 
 let o_rdonly = 0
 let o_wronly = 1

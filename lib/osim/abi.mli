@@ -39,6 +39,7 @@ val sock_recv : int
 (** {2 errno (returned negated in eax)} *)
 
 val enoent : int
+val eio : int
 val ebadf : int
 val eagain : int
 val enomem : int
@@ -46,7 +47,12 @@ val eacces : int
 val enoexec : int
 val einval : int
 val emfile : int
+val econnreset : int
 val econnrefused : int
+
+(** [errno_name e] is the symbolic name, e.g. ["ENOENT"] (counter labels
+    and fault-plan rendering). *)
+val errno_name : int -> string
 
 (** {2 open flags} *)
 

@@ -24,6 +24,7 @@ type t = {
   k_net : Net.t;
   mutable k_monitor : monitor;
   k_hooks : Vm.Machine.hooks;
+  k_fault : Fault.state;  (* deterministic fault-injection decisions *)
   quantum : int;
   max_procs : int;
   mutable procs : Process.t list;  (* in spawn order *)
@@ -38,14 +39,16 @@ type t = {
 
 let c_syscalls = Obs.Counter.make "osim.syscalls"
 let c_switches = Obs.Counter.make "osim.context_switches"
+let c_faults = Obs.Counter.make "osim.faults.injected"
 
 let stack_top = 0xFF000
 
 let create ?(quantum = 2000) ?(max_procs = 48) ?monitor ?hooks
-    ?(user_input = []) ~fs ~net () =
+    ?(user_input = []) ?(fault = Fault.none) ~fs ~net () =
   let monitor = match monitor with Some m -> m | None -> null_monitor () in
   let hooks = match hooks with Some h -> h | None -> Vm.Machine.no_hooks () in
-  { k_fs = fs; k_net = net; k_monitor = monitor; k_hooks = hooks; quantum;
+  { k_fs = fs; k_net = net; k_monitor = monitor; k_hooks = hooks;
+    k_fault = Fault.start fault; quantum;
     max_procs; procs = []; next_pid = 1; k_ticks = 0; input = user_input;
     console_buf = Buffer.create 256; clones = 0; max_live = 0;
     last_run_pid = -1 }
@@ -63,6 +66,10 @@ let console k = Buffer.contents k.console_buf
 (* ------------------------------------------------------------------ *)
 (* Loader                                                              *)
 
+(* Loader failures are per-process outcomes, never process aborts: both
+   carriers ([spawn], [do_exec]) catch this and report a clean error. *)
+exception Load_failed of string
+
 let collect_images k path =
   let rec collect loaded path =
     if List.exists (fun (i : Binary.Image.t) -> String.equal i.path path)
@@ -70,7 +77,8 @@ let collect_images k path =
     then loaded
     else
       match Fs.image_of k.k_fs path with
-      | None -> failwith (Fmt.str "loader: %s: not an executable image" path)
+      | None ->
+        raise (Load_failed (Fmt.str "loader: %s: not an executable image" path))
       | Some img ->
         let loaded = List.fold_left collect loaded img.needed in
         loaded @ [ img ]
@@ -116,14 +124,17 @@ let fresh_machine k path ~argv ~env =
         images
     with
     | Some img -> img.entry
-    | None -> assert false
+    | None ->
+      (* collect_images always returns the requested image; defend
+         against loader regressions without aborting the process *)
+      raise (Load_failed (Fmt.str "loader: %s: no entry image" path))
   in
   Vm.Machine.set_eip m entry;
   m, images
 
 let spawn ?(env = []) k ~path ~argv =
   match fresh_machine k path ~argv ~env with
-  | exception Failure msg -> Error msg
+  | exception Load_failed msg -> Error msg
   | machine, images ->
     let p =
       Process.with_std_fds
@@ -276,7 +287,7 @@ let do_exec k (p : Process.t) path argv =
     | None -> Done (-Abi.enoexec)
     | Some _ ->
       (match fresh_machine k path ~argv ~env:[] with
-       | exception Failure _ -> Done (-Abi.enoexec)
+       | exception Load_failed _ -> Done (-Abi.enoexec)
        | machine, images ->
          p.machine <- machine;
          p.exe_path <- path;
@@ -312,6 +323,8 @@ let execute k (p : Process.t) (sc : Syscall.t) : exec_result =
     (match Process.fd p fd with
      | None | Some Std_out | Some Std_err -> Done (-Abi.ebadf)
      | Some Std_in -> read_stdin k m buf len
+     | Some (Fd_file fr) when fr.flags land 3 = Abi.o_wronly ->
+       Done (-Abi.ebadf)  (* read on a write-only descriptor *)
      | Some (Fd_file fr) ->
        let file = Fs.ensure k.k_fs fr.path in
        let s = Fs.read_at file ~pos:fr.offset ~len in
@@ -335,6 +348,8 @@ let execute k (p : Process.t) (sc : Syscall.t) : exec_result =
      | Some Std_out | Some Std_err ->
        Buffer.add_string k.console_buf data;
        Done len
+     | Some (Fd_file fr) when fr.flags land 3 = Abi.o_rdonly ->
+       Done (-Abi.ebadf)  (* write on a read-only descriptor *)
      | Some (Fd_file fr) ->
        let file = Fs.ensure k.k_fs fr.path in
        Fs.write_at file ~pos:fr.offset data;
@@ -438,6 +453,42 @@ let execute k (p : Process.t) (sc : Syscall.t) : exec_result =
   | Unknown _ -> Done (-38 (* ENOSYS *))
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+
+(* The resource identity a fault plan matches against, plus whether it
+   is a socket (seeded plans draw socket faults for those). *)
+let fault_res (sc : Syscall.t) =
+  let of_res : Syscall.resource -> string * bool = function
+    | R_stdin -> "stdin", false
+    | R_stdout -> "stdout", false
+    | R_stderr -> "stderr", false
+    | R_file path -> path, false
+    | R_sock { sr_peer = Some peer; _ } -> peer, true
+    | R_sock { sr_local = Some local; _ } -> local, true
+    | R_sock _ -> "sock", true
+    | R_unknown -> "?", false
+  in
+  match sc with
+  | Open { path; _ } | Creat { path; _ } | Execve { path; _ } -> path, false
+  | Read { res; _ } | Write { res; _ } | Close { res; _ } | Dup { res; _ } ->
+    of_res res
+  | Connect { addr_name; _ } -> addr_name, true
+  | Bind { port; _ } | Listen { port; _ } | Accept { port; _ } ->
+    Fmt.str "LocalHost:%d" port, true
+  | Exit _ | Fork | Time | Getpid | Nanosleep _ | Brk _ | Socket
+  | Unknown _ -> "", false
+
+(* A short read/write delivers at least one byte but at most half the
+   request — deterministic, so faulted traces replay byte-identically. *)
+let shorten (sc : Syscall.t) : Syscall.t =
+  match sc with
+  | Read { fd; res; buf; len } when len > 1 ->
+    Read { fd; res; buf; len = max 1 (len / 2) }
+  | Write { fd; res; buf; len } when len > 1 ->
+    Write { fd; res; buf; len = max 1 (len / 2) }
+  | _ -> sc
+
+(* ------------------------------------------------------------------ *)
 (* Scheduler                                                           *)
 
 let handle_syscall k (p : Process.t) ~retry =
@@ -446,7 +497,29 @@ let handle_syscall k (p : Process.t) ~retry =
   match decode k p nr with
   | exception Vm.Machine.Fault_exn f ->
     p.state <- Killed (Fmt.str "syscall decode fault: %a" Vm.Machine.pp_fault f)
-  | sc ->
+  | sc0 ->
+    (* consult the fault plan once per attempt (never on the retry of a
+       blocked call, so a stall is transient rather than a livelock) *)
+    let fault =
+      if retry || not (Fault.active k.k_fault) then None
+      else begin
+        let res, sock = fault_res sc0 in
+        Fault.decide k.k_fault ~call:(Syscall.name sc0) ~res ~sock
+      end
+    in
+    let sc = match fault with Some Fault.Short -> shorten sc0 | _ -> sc0 in
+    let note_injection f =
+      Obs.Counter.incr c_faults;
+      Obs.Counter.incr
+        (Obs.Counter.labeled "osim.faults.injected" (Fault.kind_name f));
+      if Obs.Trace.enabled () then begin
+        let res, _ = fault_res sc in
+        Obs.Trace.emit "fault"
+          [ "call", Obs.Str (Syscall.name sc); "res", Obs.Str res;
+            "kind", Obs.Str (Fault.kind_name f); "pid", Obs.Int p.pid;
+            "tick", Obs.Int k.k_ticks ]
+      end
+    in
     let proceed =
       if retry then true
       else
@@ -470,7 +543,18 @@ let handle_syscall k (p : Process.t) ~retry =
             [ "call", Obs.Str (Syscall.name sc); "pid", Obs.Int p.pid;
               "tick", Obs.Int k.k_ticks; "result", Obs.Int result ]
       in
-      match execute k p sc with
+      let run_call () =
+        match fault with
+        | None -> execute k p sc
+        | Some f ->
+          note_injection f;
+          (match f with
+           | Fault.Errno e -> Done (-e)
+           | Fault.Reset -> Done (-Abi.econnreset)
+           | Fault.Stall -> Block
+           | Fault.Short -> execute k p sc)
+      in
+      match run_call () with
       | exception Vm.Machine.Fault_exn f ->
         p.state <- Killed (Fmt.str "syscall fault: %a" Vm.Machine.pp_fault f)
       | Done r ->
@@ -508,7 +592,9 @@ let run_quantum k (p : Process.t) =
     | Stopped Halted -> p.state <- Exited 0
     | Stopped (Faulted f) ->
       p.state <- Killed (Fmt.to_to_string Vm.Machine.pp_fault f)
-    | Stopped Running -> assert false
+    | Stopped Running ->
+      (* a VM invariant violation; contain it to this process *)
+      p.state <- Killed "vm invariant: step returned Stopped Running"
   done
 
 type report = {

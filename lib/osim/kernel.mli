@@ -36,13 +36,17 @@ val stack_top : int
     machine (the monitor mutates its fields); [user_input] scripts the
     bytes read from stdin; [quantum] is the scheduler time slice in
     instructions; [max_procs] bounds the process table ([fork] then fails
-    with EAGAIN, taming fork bombs). *)
+    with EAGAIN, taming fork bombs); [fault] injects deterministic
+    syscall faults (default {!Fault.none}) — every injection is counted
+    under [osim.faults.injected.<kind>] and emitted as an [Obs.Trace]
+    "fault" event. *)
 val create :
   ?quantum:int ->
   ?max_procs:int ->
   ?monitor:monitor ->
   ?hooks:Vm.Machine.hooks ->
   ?user_input:string list ->
+  ?fault:Fault.plan ->
   fs:Fs.t ->
   net:Net.t ->
   unit ->

@@ -5,24 +5,51 @@ type t = {
   trust : Trust.t;
   policy : policy;
   auto_kill : Severity.t option;
-  mutable warnings : Warning.t list;  (* newest first *)
-  mutable count : int;
+  warning_cap : int;  (* max stored warnings (max_int = unbounded) *)
+  wm_budget : int;  (* max working-memory facts (max_int = unbounded) *)
+  mutable warnings : Warning.t list;  (* newest first; capped *)
+  mutable fresh : Warning.t list;  (* warnings of the event in flight *)
+  mutable count : int;  (* total raised, stored or not *)
+  mutable max_sev : Severity.t option;  (* over every warning raised *)
+  mutable dropped : int;  (* raised but not stored (cap) *)
+  mutable wm_peak : int;
+  mutable wm_tripped : bool;
 }
 
 let c_warnings = Obs.Counter.make "secpert.warnings"
+let c_dropped = Obs.Counter.make "secpert.warnings.dropped"
+let c_wm_trip = Obs.Counter.make "secpert.wm_budget.tripped"
 
 let create ?(trust = Trust.default)
-    ?(thresholds = Context.default_thresholds) ?auto_kill
-    ?(policy = Native) () =
+    ?(thresholds = Context.default_thresholds) ?auto_kill ?warning_cap
+    ?wm_budget ?(policy = Native) () =
   let engine = Expert.Engine.create () in
   Facts.deftemplates engine;
-  let t = { engine; trust; policy; auto_kill; warnings = []; count = 0 } in
+  let cap = function Some n -> max 0 n | None -> max_int in
+  let t =
+    { engine; trust; policy; auto_kill; warning_cap = cap warning_cap;
+      wm_budget = cap wm_budget; warnings = []; fresh = []; count = 0;
+      max_sev = None; dropped = 0; wm_peak = 0; wm_tripped = false }
+  in
   let ctx =
     { Context.trust; thresholds;
       warn =
         (fun w ->
-          t.warnings <- w :: t.warnings;
+          (* the verdict path (count, severity, the in-flight list the
+             auto-kill decision reads) is exact regardless of the cap;
+             only the stored transcript is bounded *)
+          t.fresh <- w :: t.fresh;
           t.count <- t.count + 1;
+          t.max_sev <-
+            (match t.max_sev with
+             | Some s when Severity.(s >= w.Warning.severity) -> t.max_sev
+             | Some _ | None -> Some w.Warning.severity);
+          if List.length t.warnings < t.warning_cap then
+            t.warnings <- w :: t.warnings
+          else begin
+            t.dropped <- t.dropped + 1;
+            Obs.Counter.incr c_dropped
+          end;
           Obs.Counter.incr c_warnings;
           Obs.Counter.incr
             (Obs.Counter.labeled "secpert.warnings"
@@ -49,7 +76,7 @@ let trust t = t.trust
 let engine t = t.engine
 
 let handle_event t event =
-  let before = t.count in
+  t.fresh <- [];
   let facts =
     match t.policy with
     | Native -> [ Facts.assert_event t.engine t.trust event ]
@@ -57,14 +84,16 @@ let handle_event t event =
   in
   ignore (Expert.Engine.run t.engine);
   List.iter (Expert.Engine.retract t.engine) facts;
-  let fresh =
-    let n = t.count - before in
-    List.filteri (fun i _ -> i < n) t.warnings
-  in
+  let wm = List.length (Expert.Engine.facts t.engine) in
+  if wm > t.wm_peak then t.wm_peak <- wm;
+  if wm > t.wm_budget && not t.wm_tripped then begin
+    t.wm_tripped <- true;
+    Obs.Counter.incr c_wm_trip
+  end;
   match t.auto_kill with
   | Some threshold
     when List.exists (fun w -> Severity.(w.Warning.severity >= threshold))
-           fresh -> Osim.Kernel.Kill
+           t.fresh -> Osim.Kernel.Kill
   | Some _ | None -> Osim.Kernel.Allow
 
 let attach t monitor = Harrier.Monitor.set_sink monitor (handle_event t)
@@ -75,4 +104,23 @@ let distinct_warnings t = Warning.dedup (warnings t)
 
 let warning_count t = t.count
 
-let max_severity t = Warning.max_severity t.warnings
+let max_severity t = t.max_sev
+
+let degraded t =
+  let reasons = [] in
+  let reasons =
+    if t.wm_tripped then
+      Fmt.str
+        "working-memory budget exceeded (peak %d facts > %d); verdicts \
+         computed, WM growth flagged"
+        t.wm_peak t.wm_budget
+      :: reasons
+    else reasons
+  in
+  if t.dropped > 0 then
+    Fmt.str
+      "warning cap %d reached; %d later warning(s) dropped from the \
+       transcript (counts and verdict remain exact)"
+      t.warning_cap t.dropped
+    :: reasons
+  else reasons

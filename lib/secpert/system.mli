@@ -18,11 +18,19 @@ type policy = Native | Clips
 (** [create ()] builds a Secpert instance.
     [auto_kill] makes Secpert answer [Kill] for events that produced a
     warning at or above the given severity — standing in for the paper's
-    interactive user saying "stop" (the run is unattended). *)
+    interactive user saying "stop" (the run is unattended).
+    [warning_cap] bounds the {e stored} warning transcript: the verdict
+    path ([warning_count], [max_severity], auto-kill decisions) stays
+    exact, but warnings past the cap are dropped from [warnings] and the
+    instance reports itself {!degraded}.
+    [wm_budget] bounds working-memory growth: exceeding it after any
+    event flags the instance degraded (inference still runs). *)
 val create :
   ?trust:Trust.t ->
   ?thresholds:Context.thresholds ->
   ?auto_kill:Severity.t ->
+  ?warning_cap:int ->
+  ?wm_budget:int ->
   ?policy:policy ->
   unit ->
   t
@@ -48,5 +56,10 @@ val distinct_warnings : t -> Warning.t list
 
 val warning_count : t -> int
 
-(** [max_severity t] is the strongest warning so far. *)
+(** [max_severity t] is the strongest warning so far (exact even when
+    the warning cap dropped stored warnings). *)
 val max_severity : t -> Severity.t option
+
+(** [degraded t] lists human-readable reasons this instance's budgets
+    tripped (warning cap, WM budget); empty when nothing tripped. *)
+val degraded : t -> string list

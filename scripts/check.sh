@@ -31,5 +31,16 @@ for s in "ElmExploit" "nlspath" "procex" "grabem" "vixie crontab" \
   fi
 done
 
+echo "== chaos gate =="
+# Whole corpus under 5 seeded fault plans: no exception may escape the
+# session supervisor, faulted traces must be byte-identical per seed,
+# and degraded runs must be flagged without ever losing a warning.
+if CHAOS_CORPUS=full dune exec test/test_hth.exe -- test chaos; then
+  echo "  ok: chaos (full corpus)"
+else
+  echo "  CHAOS GATE FAILED" >&2
+  status=1
+fi
+
 [ "$status" -eq 0 ] && echo "all checks passed"
 exit "$status"

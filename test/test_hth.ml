@@ -26,6 +26,7 @@ let () =
       "extensions", Test_extensions.suite;
       "clips-policy", Test_clips_policy.suite;
       "trace", Test_trace.suite;
+      "chaos", Test_chaos.suite;
       "golden", Test_golden.suite;
       "table1",
       [ Alcotest.test_case "smoke" `Quick

@@ -610,6 +610,178 @@ let test_net_connect_refused_errno () =
     check_int "ECONNREFUSED" ((-Abi.econnrefused) land 0xFFFFFFFF) code
   | _ -> Alcotest.fail "no exit"
 
+(* ------------------------------------------------------------------ *)
+(* Syscall error paths                                                 *)
+
+(* Run [body] and exit with eax's low byte, so the test can observe a
+   syscall's (negative) errno in the exit code. *)
+let errno_exe body =
+  simple_exe (fun u ->
+      body u;
+      Asm.movl u Asm.ebx Asm.eax;
+      Asm.movl u Asm.eax (Asm.imm Abi.sys_exit);
+      Asm.int80 u)
+
+let errno_of_run ?(files = []) ?fault exe =
+  let k =
+    match fault with
+    | None -> world ~programs:[ exe ] ~files ()
+    | Some fault ->
+      let fs = Fs.create () in
+      Fs.install_image fs exe;
+      List.iter (fun (p, d) -> Fs.install fs p d) files;
+      let net = Net.create () in
+      Net.add_host net "LocalHost" 0x0100007F;
+      Kernel.create ~fs ~net ~fault ()
+  in
+  let r = run_main k "/bin/t" [ "/bin/t" ] in
+  match r.rep_final with
+  | [ (_, _, Process.Exited code) ] -> code
+  | _ -> Alcotest.fail "no clean exit"
+
+let check_errno name e code = check_int name ((-e) land 0xFFFFFFFF) code
+
+let test_kernel_read_after_close () =
+  let exe =
+    errno_exe (fun u ->
+        Asm.asciz u "name" "/f";
+        Guest.Runtime.sys_open u ~path:(Asm.lbl "name") ~flags:0;
+        Asm.movl u Asm.esi Asm.eax;
+        Guest.Runtime.sys_close u ~fd:Asm.esi;
+        Guest.Runtime.sys_read u ~fd:Asm.esi ~buf:(Asm.lbl "__buf")
+          ~len:(Asm.imm 4))
+  in
+  check_errno "read on closed fd" Abi.ebadf
+    (errno_of_run ~files:[ "/f", "data" ] exe)
+
+let test_kernel_double_close () =
+  let exe =
+    errno_exe (fun u ->
+        Asm.asciz u "name" "/f";
+        Guest.Runtime.sys_open u ~path:(Asm.lbl "name") ~flags:0;
+        Asm.movl u Asm.esi Asm.eax;
+        Guest.Runtime.sys_close u ~fd:Asm.esi;
+        Guest.Runtime.sys_close u ~fd:Asm.esi)
+  in
+  check_errno "second close" Abi.ebadf
+    (errno_of_run ~files:[ "/f", "data" ] exe)
+
+let test_kernel_read_on_wronly () =
+  let exe =
+    errno_exe (fun u ->
+        Asm.asciz u "name" "/out";
+        Guest.Runtime.sys_creat u ~path:(Asm.lbl "name");
+        Asm.movl u Asm.esi Asm.eax;
+        Guest.Runtime.sys_read u ~fd:Asm.esi ~buf:(Asm.lbl "__buf")
+          ~len:(Asm.imm 4))
+  in
+  check_errno "read on write-only fd" Abi.ebadf (errno_of_run exe)
+
+let test_kernel_write_on_rdonly () =
+  let exe =
+    errno_exe (fun u ->
+        Asm.asciz u "name" "/f";
+        Guest.Runtime.sys_open u ~path:(Asm.lbl "name") ~flags:0;
+        Asm.movl u Asm.esi Asm.eax;
+        Guest.Runtime.sys_write u ~fd:Asm.esi ~buf:(Asm.lbl "name")
+          ~len:(Asm.imm 2))
+  in
+  check_errno "write on read-only fd" Abi.ebadf
+    (errno_of_run ~files:[ "/f", "data" ] exe)
+
+let test_kernel_dup_bad_fd () =
+  let exe =
+    errno_exe (fun u ->
+        Asm.movl u Asm.ebx (Asm.imm 99);
+        Asm.movl u Asm.eax (Asm.imm Abi.sys_dup);
+        Asm.int80 u)
+  in
+  check_errno "dup of bad fd" Abi.ebadf (errno_of_run exe)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+
+let plan spec =
+  match Fault.parse spec with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+let test_fault_open_enoent () =
+  (* /f exists, but the plan makes its open fail *)
+  let exe =
+    errno_exe (fun u ->
+        Asm.asciz u "name" "/f";
+        Guest.Runtime.sys_open u ~path:(Asm.lbl "name") ~flags:0)
+  in
+  check_errno "injected ENOENT" Abi.enoent
+    (errno_of_run ~files:[ "/f", "data" ] ~fault:(plan "SYS_open@/f=enoent")
+       exe)
+
+let test_fault_nth_occurrence () =
+  (* only the second open of the same path is faulted *)
+  let exe =
+    errno_exe (fun u ->
+        Asm.asciz u "name" "/f";
+        Guest.Runtime.sys_open u ~path:(Asm.lbl "name") ~flags:0;
+        Asm.movl u Asm.esi Asm.eax;  (* first open must succeed *)
+        Guest.Runtime.sys_open u ~path:(Asm.lbl "name") ~flags:0)
+  in
+  check_errno "second open faulted" Abi.eio
+    (errno_of_run ~files:[ "/f", "data" ] ~fault:(plan "SYS_open#2=eio") exe)
+
+let test_fault_short_read () =
+  let exe =
+    simple_exe (fun u ->
+        Asm.asciz u "name" "/f";
+        Guest.Runtime.sys_open u ~path:(Asm.lbl "name") ~flags:0;
+        Asm.movl u Asm.esi Asm.eax;
+        Guest.Runtime.sys_read u ~fd:Asm.esi ~buf:(Asm.lbl "__buf")
+          ~len:(Asm.imm 6);
+        Guest.Runtime.sys_write u ~fd:(Asm.imm 1) ~buf:(Asm.lbl "__buf")
+          ~len:Asm.eax)
+  in
+  let fs = Fs.create () in
+  Fs.install_image fs exe;
+  Fs.install fs "/f" "abcdef";
+  let net = Net.create () in
+  Net.add_host net "LocalHost" 0x0100007F;
+  let k = Kernel.create ~fs ~net ~fault:(plan "SYS_read@/f=short") () in
+  let r = run_main k "/bin/t" [ "/bin/t" ] in
+  (* len 6 truncated to 3: the guest echoes only what the read returned *)
+  check_str "short read truncates" "abc" r.rep_console
+
+let test_fault_stall_not_livelock () =
+  (* a stalled read blocks for one scheduler round, then completes *)
+  let exe =
+    simple_exe (fun u ->
+        Asm.asciz u "name" "/f";
+        Guest.Runtime.sys_open u ~path:(Asm.lbl "name") ~flags:0;
+        Asm.movl u Asm.esi Asm.eax;
+        Guest.Runtime.sys_read u ~fd:Asm.esi ~buf:(Asm.lbl "__buf")
+          ~len:(Asm.imm 4);
+        Guest.Runtime.sys_write u ~fd:(Asm.imm 1) ~buf:(Asm.lbl "__buf")
+          ~len:Asm.eax)
+  in
+  let fs = Fs.create () in
+  Fs.install_image fs exe;
+  Fs.install fs "/f" "data";
+  let net = Net.create () in
+  Net.add_host net "LocalHost" 0x0100007F;
+  let k = Kernel.create ~fs ~net ~fault:(plan "SYS_read@/f=stall") () in
+  let r = run_main k "/bin/t" [ "/bin/t" ] in
+  check_str "stalled read completed" "data" r.rep_console
+
+let test_fault_decisions_deterministic () =
+  let probe () =
+    let st = Fault.start (Fault.seeded 7) in
+    List.map
+      (fun (call, res, sock) -> Fault.decide st ~call ~res ~sock)
+      [ "SYS_open", "/etc/passwd", false; "SYS_open", "/etc/passwd", false;
+        "SYS_read", "stdin", false; "SYS_read", "peer:80", true;
+        "SYS_clone", "", false; "SYS_open", "/tmp/x", false ]
+  in
+  check "same seed, same decisions" true (probe () = probe ())
+
 let suite =
   [ Alcotest.test_case "fs basics" `Quick test_fs_basics;
     Alcotest.test_case "fs write grows files" `Quick test_fs_write_grow;
@@ -671,4 +843,23 @@ let suite =
     Alcotest.test_case "recv EOF after remote close" `Quick
       test_net_recv_eof_after_close;
     Alcotest.test_case "connect refused errno" `Quick
-      test_net_connect_refused_errno ]
+      test_net_connect_refused_errno;
+    Alcotest.test_case "read after close (EBADF)" `Quick
+      test_kernel_read_after_close;
+    Alcotest.test_case "double close (EBADF)" `Quick
+      test_kernel_double_close;
+    Alcotest.test_case "read on write-only fd (EBADF)" `Quick
+      test_kernel_read_on_wronly;
+    Alcotest.test_case "write on read-only fd (EBADF)" `Quick
+      test_kernel_write_on_rdonly;
+    Alcotest.test_case "dup of bad fd (EBADF)" `Quick
+      test_kernel_dup_bad_fd;
+    Alcotest.test_case "fault: injected open ENOENT" `Quick
+      test_fault_open_enoent;
+    Alcotest.test_case "fault: nth occurrence" `Quick
+      test_fault_nth_occurrence;
+    Alcotest.test_case "fault: short read" `Quick test_fault_short_read;
+    Alcotest.test_case "fault: stall completes" `Quick
+      test_fault_stall_not_livelock;
+    Alcotest.test_case "fault: seeded decisions deterministic" `Quick
+      test_fault_decisions_deterministic ]
