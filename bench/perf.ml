@@ -44,7 +44,9 @@ let session_tests () =
 
 (* native vs textual-CLIPS policy throughput on the same event stream *)
 let policy_tests () =
-  let meta = { Harrier.Events.pid = 1; time = 10; freq = 1; addr = 0 } in
+  let meta =
+    { Harrier.Events.pid = 1; time = 10; freq = 1; addr = 0; step = 0 }
+  in
   let transfer =
     Harrier.Events.Transfer
       { call = "SYS_write";
@@ -104,7 +106,9 @@ let wm_inference () =
 
 let secpert_execve_workload () =
   let secpert = Secpert.System.create () in
-  let meta = { Harrier.Events.pid = 1; time = 10; freq = 1; addr = 0 } in
+  let meta =
+    { Harrier.Events.pid = 1; time = 10; freq = 1; addr = 0; step = 0 }
+  in
   let res : Harrier.Events.resource =
     { r_kind = Harrier.Events.R_file; r_name = "/bin/ls";
       r_origin = Taint.Tagset.singleton (Taint.Source.Binary "/bin/x") }

@@ -200,7 +200,10 @@ let run_scenario name events no_dataflow no_freq no_shortcircuit
        Fmt.pr "expected: %s@."
          (Guest.Scenario.expected_label sc.sc_expected);
        Fmt.pr "%a@." Osim.Kernel.pp_report r.os_report;
-       if stats then Fmt.pr "%a@." Hth.Report.pp_stats r.stats;
+       if stats then begin
+         Fmt.pr "%a@." Hth.Report.pp_stats r.stats;
+         Fmt.pr "%a@." Hth.Report.pp_hot_blocks r.hot_blocks
+       end;
        if
          not
            (Guest.Scenario.matches sc.sc_expected (Hth.Report.verdict r))

@@ -1,0 +1,189 @@
+(* hth_trace: offline forensic analysis of recorded JSONL traces.
+   Everything here reads trace files only — no guest re-execution.
+
+     hth_trace explain trace.jsonl            per-warning causal chains
+     hth_trace query trace.jsonl --ev flow    filter the event stream
+     hth_trace diff a.jsonl b.jsonl           first-divergence step
+     hth_trace profile trace.jsonl            hot blocks / syscall mix *)
+
+open Cmdliner
+
+let load path =
+  match Forensics.Reader.of_file path with
+  | Ok t -> t
+  | Error m ->
+    Printf.eprintf "hth_trace: %s: %s\n" path m;
+    exit 2
+
+let trace_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE" ~doc:"Recorded JSONL trace file.")
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+
+let explain_cmd =
+  let doc =
+    "Print every warning's causal chain: the firing rule activation, the \
+     matched facts resolved to their originating events by step index, \
+     and the taint origins resolved to the first touch of the \
+     responsible resource.  Output is byte-deterministic for a given \
+     trace."
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one JSON object per chain instead of text.")
+  in
+  let rule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rule" ] ~docv:"NAME" ~doc:"Only chains of this policy rule.")
+  in
+  let run path json rule =
+    let trace = load path in
+    let chains = Forensics.Chain.explain trace in
+    let chains =
+      match rule with
+      | None -> chains
+      | Some r ->
+        List.filter
+          (fun (c : Forensics.Chain.t) ->
+            Forensics.Reader.str_field c.warning "rule" = Some r)
+          chains
+    in
+    if json then
+      List.iter
+        (fun c -> print_endline (Forensics.Chain.json_of_chain c))
+        chains
+    else Fmt.pr "%a" Forensics.Chain.pp_chains chains
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ trace_arg $ json_flag $ rule_arg)
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+
+let query_cmd =
+  let doc =
+    "Filter trace entries by event kind, pid, resource-name substring \
+     and step range; print the matching lines verbatim."
+  in
+  let ev_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ev" ] ~docv:"KIND"
+          ~doc:"Event kind (phase, syscall, flow, rule, warning, fault, \
+                counter, hot_block).")
+  in
+  let pid_arg =
+    Arg.(value & opt (some int) None & info [ "pid" ] ~docv:"PID" ~doc:"Pid.")
+  in
+  let resource_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resource" ] ~docv:"SUBSTR"
+          ~doc:"Substring matched against resource-name fields.")
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "from" ] ~docv:"STEP" ~doc:"First step (inclusive).")
+  in
+  let to_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "to" ] ~docv:"STEP" ~doc:"Last step (inclusive).")
+  in
+  let count_flag =
+    Arg.(
+      value & flag
+      & info [ "count" ] ~doc:"Print only the number of matching entries.")
+  in
+  let run path ev pid resource step_min step_max count =
+    let trace = load path in
+    let f = { Forensics.Query.ev; pid; resource; step_min; step_max } in
+    let hits = Forensics.Query.run trace f in
+    if count then Printf.printf "%d\n" (List.length hits)
+    else
+      List.iter
+        (fun (e : Forensics.Reader.entry) -> print_endline e.raw)
+        hits
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(
+      const run $ trace_arg $ ev_arg $ pid_arg $ resource_arg $ from_arg
+      $ to_arg $ count_flag)
+
+(* ------------------------------------------------------------------ *)
+(* diff                                                                *)
+
+let diff_cmd =
+  let doc =
+    "Structural diff of two traces: report the first-divergence step \
+     and both lines; exit 1 on divergence, 0 when byte-identical."
+  in
+  let a_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE_A" ~doc:"Baseline trace.")
+  in
+  let b_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"TRACE_B" ~doc:"Trace to compare.")
+  in
+  let run a b =
+    match Forensics.Tdiff.diff_files ~expected:a ~actual:b with
+    | Error m ->
+      Printf.eprintf "hth_trace: %s\n" m;
+      exit 2
+    | Ok None -> Fmt.pr "traces identical@."
+    | Ok (Some d) ->
+      Fmt.pr "%a" (Forensics.Tdiff.pp ~a_name:a ~b_name:b) d;
+      exit 1
+  in
+  Cmd.v (Cmd.info "diff" ~doc) Term.(const run $ a_arg $ b_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+
+let profile_cmd =
+  let doc =
+    "Profile a trace offline: phase spans, event mix, syscall mix and \
+     top-N hot blocks from the counters the session embedded — the \
+     same numbers the live run printed under --stats."
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"How many hot blocks to print.")
+  in
+  let run path top =
+    let trace = load path in
+    Fmt.pr "%a"
+      (fun ppf p -> Forensics.Profile.pp ~top ppf p)
+      (Forensics.Profile.of_trace trace)
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ trace_arg $ top_arg)
+
+let default = Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "hth_trace" ~version:"1.0"
+      ~doc:"Offline forensic analysis of recorded HTH traces"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ explain_cmd; query_cmd; diff_cmd; profile_cmd ]))

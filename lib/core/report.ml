@@ -42,4 +42,35 @@ let pp_stats ppf (stats : Obs.snapshot) =
   List.iter
     (fun (name, v) -> Fmt.pf ppf "  %-*s %d@," width name v)
     stats;
+  (match List.filter (fun h -> Obs.Histogram.count h > 0) (Obs.histograms ())
+   with
+   | [] -> ()
+   | hs ->
+     let hwidth =
+       List.fold_left
+         (fun w h -> max w (String.length (Obs.Histogram.name h)))
+         0 hs
+     in
+     Fmt.pf ppf "histograms (%d):@," (List.length hs);
+     List.iter
+       (fun h ->
+         Fmt.pf ppf
+           "  %-*s n=%d mean=%.6f p50=%.6f p95=%.6f p99=%.6f max=%.6f@,"
+           hwidth (Obs.Histogram.name h) (Obs.Histogram.count h)
+           (Obs.Histogram.mean h)
+           (Obs.Histogram.percentile h 50.)
+           (Obs.Histogram.percentile h 95.)
+           (Obs.Histogram.percentile h 99.)
+           (Obs.Histogram.maximum h))
+       hs);
   Fmt.pf ppf "@]"
+
+let pp_hot_blocks ppf = function
+  | [] -> ()
+  | blocks ->
+    Fmt.pf ppf "@[<v>hot blocks (%d):@," (List.length blocks);
+    List.iter
+      (fun (pid, addr, count) ->
+        Fmt.pf ppf "  pid %d 0x%06x %d@," pid addr count)
+      blocks;
+    Fmt.pf ppf "@]"

@@ -18,5 +18,12 @@ val pp_verdict : Format.formatter -> verdict -> unit
 val pp_result : verbose:bool -> Format.formatter -> Session.result -> unit
 
 (** [pp_stats ppf stats] renders a session's observability counters as
-    an aligned name/value table. *)
+    an aligned name/value table, followed by the non-empty histograms
+    with mean and p50/p95/p99 percentiles (deterministic sample
+    reservoir; wall-clock spans, so the values — not the shape — vary
+    run to run). *)
 val pp_stats : Format.formatter -> Obs.snapshot -> unit
+
+(** [pp_hot_blocks ppf blocks] renders {!Session.result.hot_blocks}
+    as a [pid addr count] table; prints nothing for an empty list. *)
+val pp_hot_blocks : Format.formatter -> (int * int * int) list -> unit

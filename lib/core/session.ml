@@ -29,6 +29,7 @@ type result = {
   event_count : int;
   degraded : string list;
   stats : Obs.snapshot;
+  hot_blocks : (int * int * int) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -161,6 +162,32 @@ let run_outcome ?monitor_config ?trust ?thresholds ?auto_kill ?policy
             Harrier.Monitor.degraded monitor @ Secpert.System.degraded secpert
           in
           note_outcome (if degraded = [] then "ok" else "degraded");
+          let stats = Obs.diff ~before ~after:(Obs.snapshot ()) in
+          let hot_blocks = Harrier.Monitor.hot_blocks monitor ~limit:10 in
+          (* Embed the per-run profile in the trace so offline analysis
+             ([hth_trace profile]) reproduces the live [--stats] numbers
+             from the file alone.  The [taint.*] counters are excluded:
+             they measure process-global interning caches whose
+             hit/miss split depends on what ran earlier in the process,
+             so embedding them would break the run-twice byte-identity
+             gate.  Everything else in the diff is per-run state. *)
+          if Obs.Trace.enabled () then begin
+            List.iter
+              (fun (n, v) ->
+                let global_cache =
+                  String.length n >= 6 && String.sub n 0 6 = "taint."
+                in
+                if not global_cache then
+                  Obs.Trace.emit "counter"
+                    [ "name", Obs.Str n; "value", Obs.Int v ])
+              stats;
+            List.iter
+              (fun (pid, addr, count) ->
+                Obs.Trace.emit "hot_block"
+                  [ "pid", Obs.Int pid; "addr", Obs.Int addr;
+                    "count", Obs.Int count ])
+              hot_blocks
+          end;
           Ok
             { os_report;
               events = Harrier.Monitor.events monitor;
@@ -169,7 +196,8 @@ let run_outcome ?monitor_config ?trust ?thresholds ?auto_kill ?policy
               max_severity = Secpert.System.max_severity secpert;
               event_count = Harrier.Monitor.event_count monitor;
               degraded;
-              stats = Obs.diff ~before ~after:(Obs.snapshot ()) }))
+              stats;
+              hot_blocks }))
 
 let run ?monitor_config ?trust ?thresholds ?auto_kill ?policy ?budgets ?fault
     s =

@@ -56,6 +56,11 @@ type result = {
       (** observability counters incremented during this run
           (instructions, shadow ops, syscalls by name, rule firings,
           warnings by severity, ...) *)
+  hot_blocks : (int * int * int) list;
+      (** top-10 hottest application basic blocks as
+          [(pid, leader, count)], deterministic ordering — also
+          embedded into the trace as ["hot_block"] lines so
+          [hth_trace profile] reproduces the live numbers offline *)
 }
 
 (** Supervisor resource budgets for one session.  Every budget degrades

@@ -25,7 +25,8 @@ let sexp_of_resource (r : Harrier.Events.resource) =
 let sexp_of_meta (m : Harrier.Events.meta) =
   List
     [ Atom (string_of_int m.pid); Atom (string_of_int m.time);
-      Atom (string_of_int m.freq); Atom (string_of_int m.addr) ]
+      Atom (string_of_int m.freq); Atom (string_of_int m.addr);
+      Atom (string_of_int m.step) ]
 
 let sexp_of_event (e : Harrier.Events.t) =
   match e with
@@ -99,9 +100,14 @@ let int_of_atom = function
   | f -> err "trace: expected integer, got %a" pp f
 
 let meta_of_sexp = function
+  | List [ pid; time; freq; addr; step ] ->
+    { Harrier.Events.pid = int_of_atom pid; time = int_of_atom time;
+      freq = int_of_atom freq; addr = int_of_atom addr;
+      step = int_of_atom step }
+  (* pre-provenance traces: four-field metas, step unknown *)
   | List [ pid; time; freq; addr ] ->
     { Harrier.Events.pid = int_of_atom pid; time = int_of_atom time;
-      freq = int_of_atom freq; addr = int_of_atom addr }
+      freq = int_of_atom freq; addr = int_of_atom addr; step = -1 }
   | f -> err "trace: bad meta %a" pp f
 
 let string_of_quoted = function

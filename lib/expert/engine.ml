@@ -13,6 +13,10 @@ type t = {
   globals : (string, Value.t) Hashtbl.t;
   mutable out : string -> unit;
   mutable buffered : string list;  (* reversed *)
+  mutable current : (string * Fact.t list) option;
+      (* the activation being fired right now: rule name + matched
+         facts, visible to code called from rule actions (warning
+         sinks capture it as evidence) *)
 }
 
 and rule = {
@@ -41,7 +45,8 @@ let create () =
       wm_by_tpl = Hashtbl.create 16; wm_by_id = Hashtbl.create 64;
       wm_count = 0; next_id = 1;
       fired = Hashtbl.create 64; fns = Hashtbl.create 16;
-      globals = Hashtbl.create 16; out = ignore; buffered = [] }
+      globals = Hashtbl.create 16; out = ignore; buffered = [];
+      current = None }
   in
   e.out <- (fun line -> e.buffered <- line :: e.buffered);
   e
@@ -200,8 +205,19 @@ let run ?(limit = 10_000) e =
           Obs.Trace.emit "rule"
             [ "name", Obs.Str rule.rule_name;
               "salience", Obs.Int rule.salience;
-              "facts", Obs.Int (List.length matched) ];
-        rule.action e bindings matched;
+              "facts", Obs.Int (List.length matched);
+              "fact_ids",
+              Obs.Str
+                (String.concat ","
+                   (List.map
+                      (fun f -> string_of_int f.Fact.id)
+                      matched)) ];
+        e.current <- Some (rule.rule_name, matched);
+        Fun.protect
+          ~finally:(fun () -> e.current <- None)
+          (fun () -> rule.action e bindings matched);
         loop (fired + 1)
   in
   loop 0
+
+let current_activation e = e.current

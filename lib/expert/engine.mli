@@ -88,3 +88,10 @@ val drain_output : t -> string list
 (** [run ?limit e] fires activations until the agenda is empty or [limit]
     firings happened (default 10_000); returns the number of firings. *)
 val run : ?limit:int -> t -> int
+
+(** [current_activation e] is the activation being fired right now —
+    the rule name and the matched facts, in pattern order — or [None]
+    outside rule actions.  Warning sinks read this to attach the
+    matched facts to a warning as evidence without every policy action
+    having to thread them through. *)
+val current_activation : t -> (string * Fact.t list) option

@@ -1,0 +1,64 @@
+(** Per-warning causal chains, reconstructed offline.
+
+    [explain] walks a recorded trace and, for each ["warning"] line,
+    rebuilds the chain: the rule activation that fired it, the
+    working-memory facts that activation matched (each resolving by
+    step index to the ["flow"] event it encodes), and the
+    taint-classified origins the policy consulted (each resolving to
+    the first trace event that touched the responsible resource).
+    Everything is a pure function of the trace bytes — no engine, no
+    guest re-execution — so rendering is byte-deterministic. *)
+
+type fact_ref = {
+  fr_template : string;
+  fr_id : int;
+  fr_step : int;
+}
+
+type origin_ref = {
+  og_role : string;
+  og_type : string;
+  og_name : string;
+  og_origin_type : string;
+  og_origin_name : string;
+}
+
+type origin_link = {
+  origin : origin_ref;
+  res_first : Reader.entry option;
+      (** first flow line naming the resource itself *)
+  origin_first : Reader.entry option;
+      (** first flow line naming the resource its {e name} came from *)
+}
+
+type t = {
+  warning : Reader.entry;
+  rule : Reader.entry option;
+      (** the nearest preceding ["rule"] line — the firing activation *)
+  facts : (fact_ref * Reader.entry option) list;
+      (** matched facts with the trace entry at their recorded step *)
+  origins : origin_link list;
+}
+
+val parse_fact_refs : string -> fact_ref list
+(** Parse an [ev_facts] field ([tpl#id@step,...]); malformed parts are
+    dropped. *)
+
+val parse_origin_refs : string -> origin_ref list
+(** Parse an [ev_origins] field
+    ([role=TYPE:name<-OTYPE:oname;...]). *)
+
+val explain : Reader.t -> t list
+(** All warning chains, trace order. *)
+
+val describe_event : Reader.entry -> string
+(** One-line summary of a trace entry (used in chain rendering). *)
+
+val pp_chain : Format.formatter -> t -> unit
+(** Indented text rendering of one chain. *)
+
+val pp_chains : Format.formatter -> t list -> unit
+(** All chains, blank-line separated. *)
+
+val json_of_chain : t -> string
+(** One-line JSON object for a chain. *)

@@ -1,0 +1,24 @@
+(** Offline profiling of a recorded trace — the [hth_trace profile]
+    backend.
+
+    Counters and hot blocks come from the ["counter"] / ["hot_block"]
+    lines the session embeds at the end of a traced run; since those
+    are the live run's own stats, the offline numbers reproduce
+    [hth_run --stats] exactly.  Event mix and phase spans are computed
+    from the event stream itself. *)
+
+type t = {
+  steps : int;  (** total trace lines *)
+  phases : (string * int * int) list;
+      (** (name, first step, last step) per session phase *)
+  counters : (string * int) list;  (** embedded per-run counter diff *)
+  syscalls : (string * int) list;
+      (** syscall mix: the [osim.syscalls.*] members *)
+  events_by_kind : (string * int) list;  (** flow lines by kind *)
+  hot_blocks : (int * int * int) list;
+      (** embedded top blocks as (pid, leader, count) *)
+}
+
+val of_trace : Reader.t -> t
+
+val pp : ?top:int -> Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type filter = {
+  ev : string option;
+  pid : int option;
+  resource : string option;
+  step_min : int option;
+  step_max : int option;
+}
+
+let any = { ev = None; pid = None; resource = None; step_min = None;
+            step_max = None }
+
+let contains ~sub s =
+  let n = String.length sub in
+  if n = 0 then true
+  else begin
+    let limit = String.length s - n in
+    let rec go i =
+      i <= limit && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  end
+
+(* The resource filter substring-matches every name-bearing field so
+   "outpipe" finds opens, writes and server sockets alike. *)
+let resource_matches (e : Reader.entry) sub =
+  List.exists
+    (fun field ->
+      match Reader.str_field e field with
+      | Some v -> contains ~sub v
+      | None -> false)
+    [ "res_name"; "target_name"; "server_name"; "name"; "path"; "resource" ]
+
+let matches f (e : Reader.entry) =
+  (match f.ev with None -> true | Some k -> e.ev = k)
+  && (match f.pid with None -> true | Some p -> Reader.int_field e "pid" = Some p)
+  && (match f.step_min with None -> true | Some n -> e.step >= n)
+  && (match f.step_max with None -> true | Some n -> e.step <= n)
+  && (match f.resource with None -> true | Some s -> resource_matches e s)
+
+let run trace f = List.filter (matches f) (Reader.entries trace)

@@ -1,0 +1,18 @@
+(** Filtering trace entries — the [hth_trace query] backend. *)
+
+type filter = {
+  ev : string option;  (** exact event kind *)
+  pid : int option;
+  resource : string option;
+      (** substring match over name-bearing fields *)
+  step_min : int option;
+  step_max : int option;
+}
+
+val any : filter
+(** The all-pass filter. *)
+
+val matches : filter -> Reader.entry -> bool
+
+val run : Reader.t -> filter -> Reader.entry list
+(** Matching entries, trace order. *)

@@ -1,0 +1,20 @@
+(** Structural trace diff — the [hth_trace diff] backend.
+
+    Wraps {!Hth.Golden.first_divergence} and annotates the divergence
+    with the step index parsed from the first differing line. *)
+
+type t = {
+  line : int;  (** 1-based line number of the first difference *)
+  step : int option;
+      (** step index of the first divergent line, when parseable *)
+  expected : string option;
+  actual : string option;
+}
+
+val diff : expected:string -> actual:string -> t option
+(** [None] iff byte-identical. *)
+
+val diff_files :
+  expected:string -> actual:string -> (t option, string) result
+
+val pp : a_name:string -> b_name:string -> Format.formatter -> t -> unit

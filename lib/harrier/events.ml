@@ -11,6 +11,7 @@ type meta = {
   time : int;
   freq : int;
   addr : int;
+  step : int;
 }
 
 type t =

@@ -22,6 +22,11 @@ type meta = {
   time : int;
   freq : int;  (** execution count of the attributed application BB *)
   addr : int;  (** leader address of that BB *)
+  step : int;
+      (** trace step index this event was emitted at (the step of its
+          ["flow"] line when a trace sink is installed, the monitor's
+          event ordinal otherwise) — lets evidence recorded in
+          warnings resolve to concrete trace lines offline *)
 }
 
 type t =

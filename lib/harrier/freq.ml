@@ -28,6 +28,24 @@ let event_frequency t ~pid =
   | Some addr -> count t ~pid addr
   | None -> 0
 
+let hot t ~limit =
+  let all =
+    Hashtbl.fold (fun (pid, addr) n acc -> (pid, addr, n) :: acc) t.counts
+      []
+  in
+  let sorted =
+    List.sort
+      (fun (p1, a1, n1) (p2, a2, n2) ->
+        match Int.compare n2 n1 with
+        | 0 ->
+          (match Int.compare p1 p2 with
+           | 0 -> Int.compare a1 a2
+           | c -> c)
+        | c -> c)
+      all
+  in
+  List.filteri (fun i _ -> i < limit) sorted
+
 let inherit_from t ~parent ~child =
   (match Hashtbl.find_opt t.last_app parent with
    | Some addr -> Hashtbl.replace t.last_app child addr

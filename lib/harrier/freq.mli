@@ -25,6 +25,11 @@ val event_frequency : t -> pid:int -> int
 (** [count t ~pid addr] is the execution count of one block. *)
 val count : t -> pid:int -> int -> int
 
+(** [hot t ~limit] is the top-[limit] hottest blocks as
+    [(pid, leader, count)], deterministically ordered: count
+    descending, then pid and address ascending. *)
+val hot : t -> limit:int -> (int * int * int) list
+
 (** [inherit_from t ~parent ~child] copies counts and attribution to a
     forked child. *)
 val inherit_from : t -> parent:int -> child:int -> unit

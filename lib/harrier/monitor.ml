@@ -119,6 +119,47 @@ let event_kind : Events.t -> string = function
   | Events.Alloc _ -> "alloc"
   | Events.Transfer _ -> "transfer"
 
+(* Structured per-shape fields on the "flow" line: enough that a
+   forensic consumer can resolve resource names and taint origins from
+   the trace alone, without re-executing the guest.  [desc] stays last
+   as the human-readable rendering. *)
+let flow_fields : Events.t -> (string * Obs.value) list = function
+  | Events.Exec { path; _ } ->
+    [ "call", Obs.Str "SYS_execve";
+      "res_kind", Obs.Str (Events.kind_name path.r_kind);
+      "res_name", Obs.Str path.r_name;
+      "origin", Obs.Str (Taint.Tagset.to_string path.r_origin) ]
+  | Events.Access { call; res; _ } ->
+    [ "call", Obs.Str call;
+      "res_kind", Obs.Str (Events.kind_name res.r_kind);
+      "res_name", Obs.Str res.r_name;
+      "origin", Obs.Str (Taint.Tagset.to_string res.r_origin) ]
+  | Events.Clone { total; recent; _ } ->
+    [ "total", Obs.Int total; "recent", Obs.Int recent ]
+  | Events.Alloc { requested; total; _ } ->
+    [ "requested", Obs.Int requested; "total", Obs.Int total ]
+  | Events.Transfer { call; data; sources; target; via_server; len; _ } ->
+    [ "call", Obs.Str call;
+      "target_kind", Obs.Str (Events.kind_name target.r_kind);
+      "target_name", Obs.Str target.r_name;
+      "target_origin", Obs.Str (Taint.Tagset.to_string target.r_origin);
+      "data", Obs.Str (Taint.Tagset.to_string data);
+      "len", Obs.Int len;
+      "sources",
+      Obs.Str
+        (String.concat ";"
+           (List.map
+              (fun (src, o) ->
+                Taint.Source.to_string src ^ "<-"
+                ^ Taint.Tagset.to_string o)
+              sources)) ]
+    @ (match via_server with
+       | None -> []
+       | Some srv ->
+         [ "server_name", Obs.Str srv.Events.r_name;
+           "server_origin",
+           Obs.Str (Taint.Tagset.to_string srv.Events.r_origin) ])
+
 let emit t e =
   t.log <- e :: t.log;
   t.count <- t.count + 1;
@@ -127,10 +168,11 @@ let emit t e =
   if Obs.Trace.enabled () then begin
     let m = Events.meta_of e in
     Obs.Trace.emit "flow"
-      [ "kind", Obs.Str (event_kind e); "pid", Obs.Int m.pid;
-        "tick", Obs.Int m.time; "freq", Obs.Int m.freq;
-        "addr", Obs.Int m.addr;
-        "desc", Obs.Str (Fmt.to_to_string Events.pp e) ]
+      ([ "kind", Obs.Str (event_kind e); "pid", Obs.Int m.pid;
+         "tick", Obs.Int m.time; "freq", Obs.Int m.freq;
+         "addr", Obs.Int m.addr ]
+       @ flow_fields e
+       @ [ "desc", Obs.Str (Fmt.to_to_string Events.pp e) ])
   end;
   Log.debug (fun f -> f "event %a" Events.pp e);
   t.sink e
@@ -143,7 +185,13 @@ let meta t (s : pstate) : Events.meta =
     addr =
       (match Freq.attributed_bb t.freq ~pid:s.pid with
        | Some a -> a
-       | None -> 0) }
+       | None -> 0);
+    (* with a sink installed this is exactly the step of the event's
+       own "flow" line (nothing emits between here and [emit]); with
+       tracing off, fall back to the event ordinal *)
+    step = (if Obs.Trace.enabled () then Obs.Trace.steps () else t.count) }
+
+let hot_blocks t ~limit = Freq.hot t.freq ~limit
 
 let string_origin s m addr =
   match Vm.Machine.read_cstring m addr with

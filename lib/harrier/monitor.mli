@@ -44,6 +44,11 @@ val event_count : t -> int
     diagnostics). *)
 val shadow_of_pid : t -> int -> Shadow.t option
 
+(** [hot_blocks t ~limit] is the top-[limit] hottest application basic
+    blocks as [(pid, leader, count)] (see {!Freq.hot}); deterministic
+    ordering. *)
+val hot_blocks : t -> limit:int -> (int * int * int) list
+
 (** [degraded t] lists one human-readable reason per process whose
     shadow tripped its page budget (pid order, deterministic); empty
     when monitoring stayed exact.  Degraded runs over-taint — they may

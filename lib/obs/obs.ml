@@ -19,6 +19,14 @@ module Counter = struct
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 
+  (* Family bookkeeping backs the counter-name stability gate: a
+     [labeled base label] call registers the family [base ^ ".*"], and
+     the generated member name is excluded from the stable-name set
+     (members are data-dependent — syscall names, rule names — while
+     the family itself is part of the observable interface). *)
+  let families : (string, unit) Hashtbl.t = Hashtbl.create 16
+  let members : (string, unit) Hashtbl.t = Hashtbl.create 64
+
   let make name =
     match Hashtbl.find_opt registry name with
     | Some c -> c
@@ -27,7 +35,12 @@ module Counter = struct
       Hashtbl.add registry name c;
       c
 
-  let labeled base label = make (base ^ "." ^ label)
+  let labeled base label =
+    let name = base ^ "." ^ label in
+    if not (Hashtbl.mem families (base ^ ".*")) then
+      Hashtbl.replace families (base ^ ".*") ();
+    if not (Hashtbl.mem members name) then Hashtbl.replace members name ();
+    make name
 
   let[@inline] incr c = c.v <- c.v + 1
   let[@inline] add c n = c.v <- c.v + n
@@ -36,15 +49,27 @@ module Counter = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* Histograms (count / sum / min / max — enough to see shape and cost) *)
+(* Histograms (count / sum / min / max, plus a deterministic sample
+   reservoir for percentiles)                                          *)
 
 module Histogram = struct
+  (* Percentiles come from a decimating reservoir: keep every
+     [stride]-th observation; when the buffer fills, drop every other
+     kept sample and double the stride.  No randomness — the kept set
+     is a pure function of the observation sequence, so percentile
+     output is reproducible run to run (for deterministic inputs). *)
+  let reservoir_cap = 512
+
   type t = {
     h_name : string;
     mutable count : int;
     mutable sum : float;
     mutable min : float;
     mutable max : float;
+    samples : float array;
+    mutable kept : int;
+    mutable stride : int;
+    mutable pending : int;
   }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 16
@@ -54,21 +79,56 @@ module Histogram = struct
     | Some h -> h
     | None ->
       let h = { h_name = name; count = 0; sum = 0.; min = infinity;
-                max = neg_infinity }
+                max = neg_infinity;
+                samples = Array.make reservoir_cap 0.; kept = 0;
+                stride = 1; pending = 0 }
       in
       Hashtbl.add registry name h;
       h
+
+  let keep h x =
+    if h.kept = reservoir_cap then begin
+      let half = reservoir_cap / 2 in
+      for i = 0 to half - 1 do
+        h.samples.(i) <- h.samples.(2 * i)
+      done;
+      h.kept <- half;
+      h.stride <- h.stride * 2
+    end;
+    h.samples.(h.kept) <- x;
+    h.kept <- h.kept + 1
 
   let observe h x =
     h.count <- h.count + 1;
     h.sum <- h.sum +. x;
     if x < h.min then h.min <- x;
-    if x > h.max then h.max <- x
+    if x > h.max then h.max <- x;
+    h.pending <- h.pending + 1;
+    if h.pending >= h.stride then begin
+      h.pending <- 0;
+      keep h x
+    end
 
   let name h = h.h_name
   let count h = h.count
   let sum h = h.sum
   let mean h = if h.count = 0 then 0. else h.sum /. float_of_int h.count
+  let minimum h = if h.count = 0 then 0. else h.min
+  let maximum h = if h.count = 0 then 0. else h.max
+
+  (* Nearest-rank percentile over the sorted kept samples. *)
+  let percentile h p =
+    if h.kept = 0 then 0.
+    else begin
+      let sorted = Array.sub h.samples 0 h.kept in
+      Array.sort Float.compare sorted;
+      let rank =
+        int_of_float (ceil (p /. 100. *. float_of_int h.kept)) - 1
+      in
+      let rank = if rank < 0 then 0 else rank in
+      let rank = if rank > h.kept - 1 then h.kept - 1 else rank in
+      sorted.(rank)
+    end
 end
 
 (* ------------------------------------------------------------------ *)
@@ -121,6 +181,20 @@ let histograms () =
   Hashtbl.fold (fun _ h acc -> h :: acc) Histogram.registry []
   |> List.sort (fun a b ->
          String.compare a.Histogram.h_name b.Histogram.h_name)
+
+(* The stable counter-name surface: every directly-registered counter
+   name, with [Counter.labeled]-generated members collapsed into their
+   [base.*] family.  This is what trace consumers and dashboards key
+   on, and what the stability test snapshots. *)
+let counter_families () =
+  let stable =
+    Hashtbl.fold
+      (fun name _ acc ->
+        if Hashtbl.mem Counter.members name then acc else name :: acc)
+      Counter.registry []
+  in
+  let fams = Hashtbl.fold (fun f () acc -> f :: acc) Counter.families [] in
+  List.sort String.compare (stable @ fams)
 
 (* ------------------------------------------------------------------ *)
 (* Structured-event trace sink                                         *)

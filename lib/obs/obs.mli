@@ -35,7 +35,11 @@ module Counter : sig
   val name : t -> string
 end
 
-(** Scalar distributions: count, sum, min, max. *)
+(** Scalar distributions: count, sum, min, max, and percentiles from a
+    deterministic decimating sample reservoir (keep every [stride]-th
+    observation, doubling [stride] when the buffer fills — no
+    randomness, so percentile output is a pure function of the
+    observation sequence). *)
 module Histogram : sig
   type t
 
@@ -45,6 +49,16 @@ module Histogram : sig
   val count : t -> int
   val sum : t -> float
   val mean : t -> float
+
+  val minimum : t -> float
+  (** Smallest observation, [0.] when empty. *)
+
+  val maximum : t -> float
+  (** Largest observation, [0.] when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile h p] is the nearest-rank [p]-th percentile
+      ([0. <= p <= 100.]) over the kept samples; [0.] when empty. *)
 end
 
 (** Wall-clock span timing into a histogram.  The clock is pluggable
@@ -69,6 +83,13 @@ val diff : before:snapshot -> after:snapshot -> snapshot
 
 val histograms : unit -> Histogram.t list
 (** All registered histograms, sorted by name. *)
+
+val counter_families : unit -> string list
+(** The stable counter-name surface, sorted: directly-registered
+    counter names plus one [base.*] entry per {!Counter.labeled}
+    family (generated member names are data-dependent and excluded).
+    Snapshotted by the counter-name stability test — renaming a
+    counter breaks trace consumers and must show up in CI. *)
 
 (** The structured-event sink.  Exactly one global sink: the no-op
     backend (default, near-zero overhead) or a JSONL line writer.

@@ -1,0 +1,64 @@
+(* Per-warning forensic evidence: references to the working-memory
+   facts the firing rule matched and the taint-classified resources the
+   policy action looked at.  Everything is recorded as plain strings
+   and ints so a trace consumer can reconstruct the causal chain from a
+   JSONL trace alone, with no live engine and no guest re-execution. *)
+
+type fact_ref = {
+  fr_template : string;
+  fr_id : int;
+  fr_step : int;
+}
+
+type origin_ref = {
+  og_role : string;
+  og_type : string;
+  og_name : string;
+  og_origin_type : string;
+  og_origin_name : string;
+}
+
+type t = {
+  facts : fact_ref list;
+  origins : origin_ref list;
+}
+
+let empty = { facts = []; origins = [] }
+
+let is_empty e = e.facts = [] && e.origins = []
+
+let of_fact (f : Expert.Fact.t) =
+  let step =
+    match Expert.Fact.slot f "step" with
+    | Some (Expert.Value.Int n) -> n
+    | Some _ | None -> -1
+  in
+  { fr_template = f.template; fr_id = f.id; fr_step = step }
+
+let origin ~role ~otype ~name ~origin_type ~origin_name =
+  { og_role = role; og_type = otype; og_name = name;
+    og_origin_type = origin_type; og_origin_name = origin_name }
+
+(* Wire format (embedded in "warning" trace lines):
+   facts    "data_transfer#12@24,transfer_source#13@24"  (tpl#id@step)
+   origins  "source=FILE:/f<-SOCKET:evil:80;target=FILE:/x<-BINARY:/m"
+   Parsers split the role at the first '=', the two halves at the
+   first "<-", and each TYPE:name at the first ':' — so ':' inside
+   resource names (socket host:port) survives the round trip. *)
+
+let fact_ref_to_string r =
+  Fmt.str "%s#%d@%d" r.fr_template r.fr_id r.fr_step
+
+let facts_to_string e =
+  String.concat "," (List.map fact_ref_to_string e.facts)
+
+let origin_ref_to_string o =
+  Fmt.str "%s=%s:%s<-%s:%s" o.og_role o.og_type o.og_name o.og_origin_type
+    o.og_origin_name
+
+let origins_to_string e =
+  String.concat ";" (List.map origin_ref_to_string e.origins)
+
+let pp ppf e =
+  Fmt.pf ppf "@[facts=[%s] origins=[%s]@]" (facts_to_string e)
+    (origins_to_string e)

@@ -13,11 +13,13 @@ let deftemplates engine =
        [ slot "system_call_name"; slot "resource_name"; slot "resource_type";
          slot "resource_origin_name"; slot "resource_origin_type";
          slot ~default:(Value.Lst []) "argv"; slot "time"; slot "frequency";
-         slot "address"; slot "pid" ]);
+         slot "address"; slot "pid";
+         slot ~default:(Value.Int (-1)) "step" ]);
   Engine.deftemplate engine
     (Template.make t_alloc_event
        [ slot "requested"; slot "total"; slot "time"; slot "frequency";
-         slot "address"; slot "pid" ]);
+         slot "address"; slot "pid";
+         slot ~default:(Value.Int (-1)) "step" ]);
   Engine.deftemplate engine
     (Template.make t_data_transfer
        [ slot ~default:(Value.Int 0) "xfer";
@@ -30,15 +32,16 @@ let deftemplates engine =
          slot ~default:(Value.Str "") "server_name";
          slot ~default:(Value.Str "") "server_origin_name";
          slot "length"; slot "time"; slot "frequency"; slot "address";
-         slot "pid" ]);
+         slot "pid"; slot ~default:(Value.Int (-1)) "step" ]);
   Engine.deftemplate engine
     (Template.make t_transfer_source
        [ slot "xfer"; slot "s_type"; slot "s_name"; slot "s_origin_type";
-         slot "s_origin_name" ]);
+         slot "s_origin_name"; slot ~default:(Value.Int (-1)) "step" ]);
   Engine.deftemplate engine
     (Template.make t_clone_event
        [ slot "total"; slot "recent"; slot "window"; slot "time";
-         slot "frequency"; slot "address"; slot "pid" ])
+         slot "frequency"; slot "address"; slot "pid";
+         slot ~default:(Value.Int (-1)) "step" ])
 
 let origin_values trust tag =
   let kind = Trust.classify trust tag in
@@ -65,7 +68,8 @@ let next_xfer () =
 
 let meta_values (m : Harrier.Events.meta) =
   [ "time", Value.Int m.time; "frequency", Value.Int m.freq;
-    "address", Value.Int m.addr; "pid", Value.Int m.pid ]
+    "address", Value.Int m.addr; "pid", Value.Int m.pid;
+    "step", Value.Int m.step ]
 
 let source_entry trust (src, name_origin) =
   let otype, oname = origin_values trust name_origin in
@@ -136,7 +140,7 @@ let assert_event engine trust (e : Harrier.Events.t) =
 let assert_event_full engine trust (e : Harrier.Events.t) =
   let main = assert_event engine trust e in
   match e with
-  | Transfer { sources; _ } ->
+  | Transfer { sources; meta; _ } ->
     let xfer =
       match Fact.slot main "xfer" with
       | Some v -> v
@@ -154,7 +158,8 @@ let assert_event_full engine trust (e : Harrier.Events.t) =
                  (Option.value (Taint.Source.resource_name src)
                     ~default:"");
                "s_origin_type", Value.Sym otype;
-               "s_origin_name", Value.Str oname ])
+               "s_origin_name", Value.Str oname;
+               "step", Value.Int meta.step ])
          sources
   | Exec _ | Clone _ | Access _ | Alloc _ -> [ main ]
 

@@ -21,17 +21,22 @@ let check_execve ctx =
       Fmt.str "Found SYS_execve call (%S)\n\t(%S) originated from %s" name
         name origin_desc
     in
+    let origins =
+      [ Evidence.origin ~role:"resource" ~otype:"FILE" ~name
+          ~origin_type:otype ~origin_name:oname ]
+    in
     match otype with
     | "SOCKET" ->
       ctx.Context.warn
         (Warning.make ~severity:Severity.High ~rule:"check_execve" ~pid
-           ~time
+           ~time ~origins
            (message (Fmt.str "a SOCKET: (%S)" oname)))
     | "BINARY" ->
       let rare = Context.rarely_executed ctx ~freq ~time in
       let severity = if rare then Severity.Medium else Severity.Low in
       ctx.Context.warn
         (Warning.make ~severity ~rule:"check_execve" ~pid ~time ~rare
+           ~origins
            (message (Fmt.str "(%S)" oname)))
     | "USER_INPUT" | "FILE" | "HARDWARE" | "UNKNOWN" | _ -> ()
   in

@@ -155,6 +155,21 @@ let check_write ctx =
       let freq = Facts.get_int bindings "freq" in
       let pid = Facts.get_int bindings "pid" in
       let rare = Context.rarely_executed ctx ~freq ~time in
+      let target_origin_ref =
+        Evidence.origin ~role:"target" ~otype:target_type ~name:target_name
+          ~origin_type:tgt_origin ~origin_name:tgt_origin_name
+      in
+      let source_origin_ref (s : Facts.source_info) =
+        Evidence.origin ~role:"source" ~otype:s.s_type ~name:s.s_name
+          ~origin_type:s.s_origin_type ~origin_name:s.s_origin_name
+      in
+      let server_origin_refs =
+        match server with
+        | Some (server_name, sotype, soname) ->
+          [ Evidence.origin ~role:"server" ~otype:"SOCKET"
+              ~name:server_name ~origin_type:sotype ~origin_name:soname ]
+        | None -> []
+      in
       (* content analysis: executable payload downloaded to a file *)
       let head =
         match Pattern.lookup bindings "head" with
@@ -166,15 +181,24 @@ let check_write ctx =
         && looks_executable head
         && List.exists (fun (s : Facts.source_info) -> s.s_type = "SOCKET")
              sources
-      then
+      then begin
+        let socket_sources =
+          List.filter
+            (fun (s : Facts.source_info) -> s.s_type = "SOCKET")
+            sources
+        in
         ctx.Context.warn
           (Warning.make ~severity:Severity.High ~rule:"check_content" ~pid
              ~time ~rare
+             ~origins:
+               (List.map source_origin_ref socket_sources
+                @ [ target_origin_ref ])
              (Fmt.str
                 "Found Write call to %s\n\
                  \tThe data appears to be EXECUTABLE content downloaded \
                  from the network"
-                target_name));
+                target_name))
+      end;
       List.iter
         (fun (s : Facts.source_info) ->
           let trusted =
@@ -199,7 +223,11 @@ let check_write ctx =
               in
               ctx.Context.warn
                 (Warning.make ~severity ~rule:"check_write" ~pid ~time
-                   ~rare message))
+                   ~rare
+                   ~origins:
+                     (source_origin_ref s :: target_origin_ref
+                      :: server_origin_refs)
+                   message))
         sources
     end
   in

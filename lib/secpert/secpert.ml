@@ -5,6 +5,7 @@
     custom policies and tests. *)
 
 module Severity = Severity
+module Evidence = Evidence
 module Warning = Warning
 module Trust = Trust
 module Context = Context

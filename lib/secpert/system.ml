@@ -35,6 +35,15 @@ let create ?(trust = Trust.default)
     { Context.trust; thresholds;
       warn =
         (fun w ->
+          (* attach the firing activation's matched facts as evidence —
+             centrally, so both the native and the CLIPS policies get
+             provenance without threading facts through every action *)
+          let w =
+            match Expert.Engine.current_activation engine with
+            | Some (_rule, facts) ->
+              Warning.with_facts w (List.map Evidence.of_fact facts)
+            | None -> w
+          in
           (* the verdict path (count, severity, the in-flight list the
              auto-kill decision reads) is exact regardless of the cap;
              only the stored transcript is bounded *)
@@ -54,14 +63,24 @@ let create ?(trust = Trust.default)
           Obs.Counter.incr
             (Obs.Counter.labeled "secpert.warnings"
                (Severity.label w.Warning.severity));
-          if Obs.Trace.enabled () then
+          if Obs.Trace.enabled () then begin
+            let ev = w.Warning.evidence in
             Obs.Trace.emit "warning"
-              [ "severity", Obs.Str (Severity.label w.Warning.severity);
-                "rule", Obs.Str w.Warning.rule;
-                "pid", Obs.Int w.Warning.pid;
-                "tick", Obs.Int w.Warning.time;
-                "rare", Obs.Bool w.Warning.rare;
-                "message", Obs.Str w.Warning.message ]) }
+              ([ "severity", Obs.Str (Severity.label w.Warning.severity);
+                 "rule", Obs.Str w.Warning.rule;
+                 "pid", Obs.Int w.Warning.pid;
+                 "tick", Obs.Int w.Warning.time;
+                 "rare", Obs.Bool w.Warning.rare ]
+               @ (if ev.Evidence.facts = [] then []
+                  else
+                    [ "ev_facts",
+                      Obs.Str (Evidence.facts_to_string ev) ])
+               @ (if ev.Evidence.origins = [] then []
+                  else
+                    [ "ev_origins",
+                      Obs.Str (Evidence.origins_to_string ev) ])
+               @ [ "message", Obs.Str w.Warning.message ])
+          end) }
   in
   (match policy with
    | Native ->

@@ -5,13 +5,21 @@ type t = {
   pid : int;
   time : int;
   rare : bool;
+  mult : int;
+  evidence : Evidence.t;
 }
 
-let make ~severity ~rule ~pid ~time ?(rare = false) message =
-  { severity; rule; message; pid; time; rare }
+let make ~severity ~rule ~pid ~time ?(rare = false) ?(origins = []) message =
+  { severity; rule; message; pid; time; rare; mult = 1;
+    evidence = { Evidence.facts = []; origins } }
+
+let with_facts w facts =
+  { w with evidence = { w.evidence with Evidence.facts } }
 
 let pp ppf w =
-  Fmt.pf ppf "Warning [%a] %s%s" Severity.pp w.severity w.message
+  Fmt.pf ppf "Warning [%a]%s %s%s" Severity.pp w.severity
+    (if w.mult > 1 then Fmt.str " (x%d)" w.mult else "")
+    w.message
     (if w.rare then "\n\tThis code is rarely executed..." else "")
 
 let to_string = Fmt.to_to_string pp
@@ -24,14 +32,24 @@ let max_severity ws =
       | Some s -> if Severity.(w.severity >= s) then Some w.severity else acc)
     None ws
 
+(* Duplicates collapse into the first occurrence, which accumulates
+   their multiplicity so alarm volume stays visible in reports. *)
 let dedup ws =
-  let seen = Hashtbl.create 16 in
-  List.filter
-    (fun w ->
-      let key = w.rule, Severity.label w.severity, w.message in
-      if Hashtbl.mem seen key then false
-      else begin
-        Hashtbl.replace seen key ();
-        true
-      end)
-    ws
+  let seen : (string * string * string, t ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let kept_rev =
+    List.fold_left
+      (fun acc w ->
+        let key = w.rule, Severity.label w.severity, w.message in
+        match Hashtbl.find_opt seen key with
+        | Some r ->
+          r := { !r with mult = !r.mult + w.mult };
+          acc
+        | None ->
+          let r = ref w in
+          Hashtbl.replace seen key r;
+          r :: acc)
+      [] ws
+  in
+  List.rev_map (fun r -> !r) kept_rev

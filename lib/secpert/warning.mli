@@ -7,14 +7,29 @@ type t = {
   pid : int;
   time : int;
   rare : bool;  (** "This code is rarely executed..." reinforcement *)
+  mult : int;
+      (** multiplicity: how many identical warnings this one stands
+          for after {!dedup} ([1] as issued) *)
+  evidence : Evidence.t;
+      (** forensic chain: matched facts (attached by the warning sink
+          from the firing activation) and the taint-classified
+          resources the policy action consulted *)
 }
 
 val make :
   severity:Severity.t -> rule:string -> pid:int -> time:int -> ?rare:bool ->
-  string -> t
+  ?origins:Evidence.origin_ref list -> string -> t
+(** [make ... ?origins message] builds a warning with multiplicity 1;
+    [origins] seeds the evidence (matched facts are attached later by
+    the system's warning sink). *)
+
+val with_facts : t -> Evidence.fact_ref list -> t
+(** [with_facts w refs] replaces the evidence's fact references. *)
 
 (** [pp] renders the paper's format:
-    {v Warning [HIGH] Found Write call to ... v} *)
+    {v Warning [HIGH] Found Write call to ... v}
+    with an [(xN)] multiplicity marker after the severity when the
+    warning stands for [N > 1] identical occurrences. *)
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
@@ -22,6 +37,7 @@ val to_string : t -> string
 (** [max_severity ws] is the highest severity present, if any. *)
 val max_severity : t list -> Severity.t option
 
-(** [dedup ws] drops warnings identical in (rule, severity, message),
-    keeping first occurrences in order. *)
+(** [dedup ws] collapses warnings identical in (rule, severity,
+    message) into their first occurrence, in order, accumulating the
+    duplicates' multiplicity into {!field-mult}. *)
 val dedup : t list -> t list

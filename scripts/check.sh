@@ -31,6 +31,21 @@ for s in "ElmExploit" "nlspath" "procex" "grabem" "vixie crontab" \
   fi
 done
 
+echo "== hth_trace smoke =="
+# Offline analysis of a committed golden: explain and profile must
+# render, self-diff must exit 0 and a cross-diff must exit 1.
+dune exec bin/hth_trace.exe -- explain test/golden/pma.jsonl >/dev/null
+dune exec bin/hth_trace.exe -- profile test/golden/pma.jsonl >/dev/null
+dune exec bin/hth_trace.exe -- diff test/golden/pma.jsonl \
+  test/golden/pma.jsonl >/dev/null
+if dune exec bin/hth_trace.exe -- diff test/golden/pma.jsonl \
+     test/golden/grabem.jsonl >/dev/null 2>&1; then
+  echo "  hth_trace diff missed a divergence" >&2
+  status=1
+else
+  echo "  ok: hth_trace explain/profile/diff"
+fi
+
 echo "== chaos gate =="
 # Whole corpus under 5 seeded fault plans: no exception may escape the
 # session supervisor, faulted traces must be byte-identical per seed,

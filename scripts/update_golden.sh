@@ -1,0 +1,65 @@
+#!/bin/sh
+# Regenerate the committed golden traces in test/golden/ after an
+# *intended* behaviour change (new rule, changed event schema, extra
+# syscall in a guest program).  Prints a per-scenario diff summary so
+# the change can be reviewed like code: each changed line is a changed
+# observable behaviour.  See EXPERIMENTS.md "Golden traces".
+#
+# Usage: scripts/update_golden.sh [scenario ...]
+#   With no arguments every golden scenario is regenerated.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+  scenarios="$*"
+else
+  scenarios='ElmExploit
+nlspath
+procex
+grabem
+vixie crontab
+pma
+superforker
+ls
+column'
+fi
+
+dune build bin/hth_run.exe bin/hth_trace.exe
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+changed=0
+echo "$scenarios" | while IFS= read -r s; do
+  [ -n "$s" ] || continue
+  f=$(echo "$s" | tr ' ' '_')
+  golden="test/golden/$f.jsonl"
+  fresh="$tmp/$f.jsonl"
+  dune exec --no-build bin/hth_run.exe -- run "$s" --trace "$fresh" >/dev/null
+
+  if [ ! -f "$golden" ]; then
+    cp "$fresh" "$golden"
+    echo "NEW      $golden ($(wc -l < "$golden") lines)"
+  elif cmp -s "$golden" "$fresh"; then
+    echo "same     $golden"
+  else
+    added=$(diff "$golden" "$fresh" | grep -c '^>' || true)
+    removed=$(diff "$golden" "$fresh" | grep -c '^<' || true)
+    first=$(dune exec --no-build bin/hth_trace.exe -- diff "$golden" "$fresh" \
+              | sed -n 's/^traces diverge at /diverged at /p' | head -1) || true
+    cp "$fresh" "$golden"
+    echo "UPDATED  $golden (+$added -$removed lines; $first)"
+    changed=1
+  fi
+
+  # Keep the committed explain rendering (used by the forensics tests)
+  # in lockstep with its trace.
+  explain="test/golden/$f.explain.txt"
+  if [ -f "$explain" ]; then
+    dune exec --no-build bin/hth_trace.exe -- explain "$golden" > "$explain"
+    echo "         refreshed $explain"
+  fi
+done
+
+echo "done — review the git diff before committing."

@@ -37,7 +37,8 @@ let judge_clips e =
   ignore (Secpert.System.handle_event s e);
   Secpert.System.max_severity s
 
-let meta : Harrier.Events.meta = { pid = 1; time = 100; freq = 3; addr = 0 }
+let meta : Harrier.Events.meta =
+  { pid = 1; time = 100; freq = 3; addr = 0; step = 0 }
 
 let test_clips_execve_severities () =
   let exec origin =
@@ -64,7 +65,8 @@ let test_clips_rare_escalation () =
       { path =
           { r_kind = Harrier.Events.R_file; r_name = "/bin/x";
             r_origin = Taint.Tagset.singleton (Taint.Source.Binary "/mal") };
-        argv = []; meta = { pid = 1; time = 9_000; freq = 1; addr = 0 } }
+        argv = [];
+        meta = { pid = 1; time = 9_000; freq = 1; addr = 0; step = 0 } }
   in
   check "rare+late medium" true
     (judge_clips exec = Some Secpert.Severity.Medium)

@@ -27,7 +27,7 @@ let test_alloc_thresholds () =
       (Secpert.System.handle_event s
          (Harrier.Events.Alloc
             { requested = 0x70000 + total; total;
-              meta = { pid = 1; time = 10; freq = 1; addr = 0 } }));
+              meta = { pid = 1; time = 10; freq = 1; addr = 0; step = 0 } }));
     Secpert.System.max_severity s
   in
   check "small alloc silent" true (judge 0x1000 = None);
@@ -99,7 +99,7 @@ let test_content_magics () =
                 { r_kind = Harrier.Events.R_file; r_name = "/f";
                   r_origin = Taint.Tagset.empty };
               via_server = None; len = 10;
-              meta = { pid = 1; time = 10; freq = 1; addr = 0 } }));
+              meta = { pid = 1; time = 10; freq = 1; addr = 0; step = 0 } }));
     Secpert.System.max_severity s
   in
   check "MZ magic" true (judge "MZ\x90\x00" = Some Secpert.Severity.High);

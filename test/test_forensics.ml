@@ -1,0 +1,361 @@
+(* Forensic provenance: the offline analysis layer (lib/forensics) and
+   the evidence chains the monitor records for it.
+
+   What ISSUE 4 pins down:
+   - the JSONL parser inverts exactly what [Obs.Trace] emits;
+   - [Chain.explain] on a committed golden reproduces the committed
+     rendering byte for byte (no re-execution anywhere);
+   - the provenance property: every warning in every recorded trace —
+     clean or fault-injected — carries a non-empty evidence chain whose
+     fact steps resolve to real flow events of that same trace;
+   - [Profile.of_trace] reproduces the live run's [--stats] numbers
+     from the embedded counter / hot_block lines;
+   - the counter-name surface is stable against the committed list. *)
+
+let seeds = [ 1; 2; 3; 7; 42 ]
+
+let corpus_slice =
+  [ "pma"; "grabem"; "superforker"; "text download"; "vixie crontab";
+    "stealth dropper" ]
+
+let scenario name =
+  match Guest.Corpus.find name with
+  | Some sc -> sc
+  | None -> Alcotest.failf "scenario %S missing from corpus" name
+
+(* Run [sc] with the JSONL sink captured; always restore the no-op
+   sink.  Returns the trace bytes and the session outcome. *)
+let traced_run ?fault (sc : Guest.Scenario.t) =
+  let buf = Buffer.create 4096 in
+  Obs.Trace.to_buffer buf;
+  let outcome =
+    Fun.protect ~finally:Obs.Trace.disable (fun () ->
+        Hth.Session.run_outcome ?fault sc.sc_setup)
+  in
+  (Buffer.contents buf, outcome)
+
+let reader_of_string s =
+  match Forensics.Reader.of_string s with
+  | Ok t -> t
+  | Error m -> Alcotest.failf "trace parse error: %s" m
+
+let reader_of_file path =
+  match Forensics.Reader.of_file path with
+  | Ok t -> t
+  | Error m -> Alcotest.failf "%s: %s" path m
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* JSONL parser inverts the emitter                                    *)
+
+let test_jsonl_roundtrip () =
+  let fields =
+    [ "neg", Obs.Int (-42);
+      "zero", Obs.Int 0;
+      "yes", Obs.Bool true;
+      "no", Obs.Bool false;
+      "plain", Obs.Str "hello";
+      "tricky", Obs.Str "quote\" back\\ slash/ nl\n tab\t cr\r";
+      "control", Obs.Str "a\x01b\x1fc";
+      "bytes", Obs.Str "caf\xc3\xa9" ]
+  in
+  let buf = Buffer.create 256 in
+  Obs.Trace.to_buffer buf;
+  Fun.protect ~finally:Obs.Trace.disable (fun () ->
+      Obs.Trace.emit "roundtrip" fields);
+  let line = String.trim (Buffer.contents buf) in
+  match Forensics.Jsonl.parse_line line with
+  | Error m -> Alcotest.failf "parse_line failed: %s on %s" m line
+  | Ok parsed ->
+    let expect name v =
+      match List.assoc_opt name parsed with
+      | Some got ->
+        Alcotest.(check bool) (name ^ " value") true (got = v)
+      | None -> Alcotest.failf "field %s missing from %s" name line
+    in
+    expect "step" (Forensics.Jsonl.Int 0);
+    expect "ev" (Forensics.Jsonl.Str "roundtrip");
+    List.iter
+      (fun (name, v) ->
+        expect name
+          (match v with
+           | Obs.Int n -> Forensics.Jsonl.Int n
+           | Obs.Str s -> Forensics.Jsonl.Str s
+           | Obs.Bool b -> Forensics.Jsonl.Bool b))
+      fields;
+    Alcotest.(check int) "field count" (2 + List.length fields)
+      (List.length parsed)
+
+let test_jsonl_rejects () =
+  List.iter
+    (fun line ->
+      match Forensics.Jsonl.parse_line line with
+      | Ok _ -> Alcotest.failf "parser accepted %S" line
+      | Error _ -> ())
+    [ ""; "{"; "{}x"; "{\"a\":}"; "{\"a\":1,}"; "{\"a\":\"unterminated}";
+      "{\"a\":{\"nested\":1}}"; "[1,2]" ]
+
+(* ------------------------------------------------------------------ *)
+(* explain on a committed golden: exact rendering, no re-execution     *)
+
+let test_explain_golden_rendering () =
+  let trace = reader_of_file "golden/pma.jsonl" in
+  let chains = Forensics.Chain.explain trace in
+  let rendered = Fmt.str "%a" Forensics.Chain.pp_chains chains in
+  let expected = read_file "golden/pma.explain.txt" in
+  Alcotest.(check string)
+    "explain output matches committed golden (regenerate with \
+     scripts/update_golden.sh)"
+    expected rendered
+
+let test_explain_golden_structure () =
+  let trace = reader_of_file "golden/pma.jsonl" in
+  let chains = Forensics.Chain.explain trace in
+  Alcotest.(check int) "pma has four warning chains" 4
+    (List.length chains);
+  List.iter
+    (fun (c : Forensics.Chain.t) ->
+      Alcotest.(check bool) "chain has matched facts" true
+        (c.facts <> []);
+      Alcotest.(check bool) "chain has a firing rule activation" true
+        (c.rule <> None);
+      Alcotest.(check bool) "chain has taint origins" true
+        (c.origins <> []);
+      List.iter
+        (fun ((fr : Forensics.Chain.fact_ref), entry) ->
+          match entry with
+          | None ->
+            Alcotest.failf "fact %s#%d@%d does not resolve"
+              fr.fr_template fr.fr_id fr.fr_step
+          | Some (e : Forensics.Reader.entry) ->
+            Alcotest.(check int) "resolved step" fr.fr_step e.step;
+            Alcotest.(check string) "facts resolve to flow events"
+              "flow" e.ev)
+        c.facts)
+    chains
+
+(* ------------------------------------------------------------------ *)
+(* The provenance property, across the corpus and under faults        *)
+
+let check_provenance name trace_bytes =
+  let trace = reader_of_string trace_bytes in
+  let warnings =
+    List.filter
+      (fun (e : Forensics.Reader.entry) -> e.ev = "warning")
+      (Forensics.Reader.entries trace)
+  in
+  let chains = Forensics.Chain.explain trace in
+  Alcotest.(check int)
+    (name ^ ": one chain per warning line")
+    (List.length warnings) (List.length chains);
+  List.iter
+    (fun (c : Forensics.Chain.t) ->
+      let where =
+        Fmt.str "%s warning step=%d" name c.warning.Forensics.Reader.step
+      in
+      Alcotest.(check bool) (where ^ ": non-empty evidence") true
+        (c.facts <> []);
+      List.iter
+        (fun ((fr : Forensics.Chain.fact_ref), entry) ->
+          match entry with
+          | None ->
+            Alcotest.failf "%s: fact %s#%d@%d has no event at that step"
+              where fr.fr_template fr.fr_id fr.fr_step
+          | Some (e : Forensics.Reader.entry) ->
+            if e.step <> fr.fr_step || e.ev <> "flow" then
+              Alcotest.failf
+                "%s: fact %s#%d@%d resolved to %s line at step %d" where
+                fr.fr_template fr.fr_id fr.fr_step e.ev e.step)
+        c.facts)
+    chains
+
+let test_provenance_property () =
+  List.iter
+    (fun name ->
+      let sc = scenario name in
+      let clean, _ = traced_run sc in
+      check_provenance name clean;
+      List.iter
+        (fun seed ->
+          let faulted, _ =
+            traced_run ~fault:(Osim.Fault.seeded seed) sc
+          in
+          check_provenance (Fmt.str "%s seed %d" name seed) faulted)
+        seeds)
+    corpus_slice
+
+(* ------------------------------------------------------------------ *)
+(* profile reproduces the live --stats numbers                         *)
+
+let test_profile_matches_stats () =
+  let sc = scenario "pma" in
+  let bytes, outcome = traced_run sc in
+  let r =
+    match outcome with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "pma failed: %a" Hth.Error.pp e
+  in
+  let p = Forensics.Profile.of_trace (reader_of_string bytes) in
+  let no_taint =
+    (* taint.* counters ride on process-global interning caches, so the
+       session never embeds them — see Session.run_outcome *)
+    List.filter
+      (fun (n, _) ->
+        not (String.length n >= 6 && String.sub n 0 6 = "taint."))
+      r.Hth.Session.stats
+  in
+  Alcotest.(check (list (pair string int)))
+    "embedded counters = live stats minus taint.*" no_taint p.counters;
+  let live_syscalls =
+    List.filter_map
+      (fun (n, v) ->
+        let prefix = "osim.syscalls." in
+        let pl = String.length prefix in
+        if String.length n > pl && String.sub n 0 pl = prefix then
+          Some (String.sub n pl (String.length n - pl), v)
+        else None)
+      r.Hth.Session.stats
+  in
+  Alcotest.(check (list (pair string int)))
+    "syscall mix" live_syscalls (List.sort compare p.syscalls);
+  Alcotest.(check (list (triple int int int)))
+    "hot blocks" r.Hth.Session.hot_blocks p.hot_blocks
+
+(* ------------------------------------------------------------------ *)
+(* diff                                                                *)
+
+let test_diff () =
+  let bytes = read_file "golden/pma.jsonl" in
+  (match Forensics.Tdiff.diff ~expected:bytes ~actual:bytes with
+   | None -> ()
+   | Some _ -> Alcotest.fail "identical traces reported divergent");
+  let lines = String.split_on_char '\n' bytes in
+  let corrupted =
+    String.concat "\n"
+      (List.mapi
+         (fun i l ->
+           if i = 3 then
+             "{\"step\":3,\"ev\":\"syscall\",\"call\":\"SYS_evil\"}"
+           else l)
+         lines)
+  in
+  match Forensics.Tdiff.diff ~expected:bytes ~actual:corrupted with
+  | None -> Alcotest.fail "corrupted trace reported identical"
+  | Some d ->
+    Alcotest.(check int) "divergence line" 4 d.line;
+    Alcotest.(check (option int)) "divergence step" (Some 3) d.step
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+
+let test_query () =
+  let trace = reader_of_file "golden/pma.jsonl" in
+  let count f = List.length (Forensics.Query.run trace f) in
+  let all = Forensics.Query.any in
+  Alcotest.(check int) "all-pass returns every line"
+    (Forensics.Reader.length trace)
+    (count all);
+  Alcotest.(check int) "four warnings" 4
+    (count { all with ev = Some "warning" });
+  Alcotest.(check int) "no faults in a clean run" 0
+    (count { all with ev = Some "fault" });
+  Alcotest.(check bool) "resource substring finds the exfil pipe" true
+    (count { all with resource = Some "inpipe" } > 0);
+  Alcotest.(check int) "step range is inclusive" 3
+    (count { all with step_min = Some 4; step_max = Some 6 });
+  Alcotest.(check int) "pid filter drops pid-less lines"
+    (count { all with pid = Some 1 })
+    (count { all with pid = Some 1; step_min = Some 0 })
+
+(* ------------------------------------------------------------------ *)
+(* histogram percentiles: deterministic decimating reservoir           *)
+
+let test_histogram_percentiles () =
+  let feed name obs =
+    let h = Obs.Histogram.make name in
+    List.iter (Obs.Histogram.observe h) obs;
+    h
+  in
+  let small = feed "test.hist.small" (List.init 100 float_of_int) in
+  Alcotest.(check (float 0.)) "p50 of 0..99" 49.
+    (Obs.Histogram.percentile small 50.);
+  Alcotest.(check (float 0.)) "p95 of 0..99" 94.
+    (Obs.Histogram.percentile small 95.);
+  Alcotest.(check (float 0.)) "p99 of 0..99" 98.
+    (Obs.Histogram.percentile small 99.);
+  Alcotest.(check (float 0.)) "max of 0..99" 99.
+    (Obs.Histogram.maximum small);
+  (* past the reservoir capacity the decimation must stay a pure
+     function of the observation sequence: two identical streams give
+     identical percentiles, and nearest-rank stays within one stride
+     of the exact answer *)
+  let big = List.init 10_000 float_of_int in
+  let a = feed "test.hist.big.a" big and b = feed "test.hist.big.b" big in
+  List.iter
+    (fun p ->
+      let pa = Obs.Histogram.percentile a p in
+      Alcotest.(check (float 0.))
+        (Fmt.str "p%g deterministic across identical streams" p)
+        pa
+        (Obs.Histogram.percentile b p);
+      let exact = p /. 100. *. 10_000. in
+      Alcotest.(check bool)
+        (Fmt.str "p%g within decimation error (got %g, exact %g)" p pa
+           exact)
+        true
+        (Float.abs (pa -. exact) <= 64.))
+    [ 50.; 95.; 99. ];
+  Alcotest.(check int) "count tracks every observation" 10_000
+    (Obs.Histogram.count a)
+
+(* ------------------------------------------------------------------ *)
+(* counter-name stability                                              *)
+
+let test_counter_families () =
+  (* Touch every runtime-registered family first: a clean run and a few
+     faulted ones (fault injection registers the osim.faults.injected
+     family). *)
+  let sc = scenario "pma" in
+  ignore (Hth.Session.run_outcome sc.sc_setup);
+  List.iter
+    (fun seed ->
+      ignore
+        (Hth.Session.run_outcome ~fault:(Osim.Fault.seeded seed)
+           sc.sc_setup))
+    seeds;
+  let actual = Obs.counter_families () in
+  let expected =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file "counter_families.expected"))
+  in
+  Alcotest.(check (list string))
+    "counter-name surface matches test/counter_families.expected \
+     (renaming a counter breaks trace consumers — update the list only \
+     with the rename)"
+    expected actual
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [ Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "jsonl rejects malformed" `Quick test_jsonl_rejects;
+    Alcotest.test_case "explain: golden rendering" `Quick
+      test_explain_golden_rendering;
+    Alcotest.test_case "explain: chains resolve" `Quick
+      test_explain_golden_structure;
+    Alcotest.test_case "provenance property (corpus x seeds)" `Slow
+      test_provenance_property;
+    Alcotest.test_case "profile reproduces --stats" `Quick
+      test_profile_matches_stats;
+    Alcotest.test_case "diff finds first divergence" `Quick test_diff;
+    Alcotest.test_case "query filters" `Quick test_query;
+    Alcotest.test_case "histogram percentiles" `Quick
+      test_histogram_percentiles;
+    Alcotest.test_case "counter families stable" `Quick
+      test_counter_families ]

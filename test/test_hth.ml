@@ -28,6 +28,7 @@ let () =
       "trace", Test_trace.suite;
       "chaos", Test_chaos.suite;
       "golden", Test_golden.suite;
+      "forensics", Test_forensics.suite;
       "table1",
       [ Alcotest.test_case "smoke" `Quick
           (run_group Guest.Characterize.scenarios) ];

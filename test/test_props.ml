@@ -574,10 +574,11 @@ let resource_gen =
     (Gen.pair Gen.string_printable tagset_gen)
 
 let meta_gen =
-  Gen.map
-    (fun (pid, time, freq, addr) : Harrier.Events.meta ->
-      { pid; time; freq; addr })
+  Gen.map2
+    (fun (pid, time, freq, addr) step : Harrier.Events.meta ->
+      { pid; time; freq; addr; step })
     Gen.(quad small_nat small_nat small_nat small_nat)
+    Gen.small_nat
 
 let event_gen =
   let open Gen in

@@ -15,7 +15,7 @@ let sock_evil = Taint.Source.Socket "evil:80"
 let file_a = Taint.Source.File "/a"
 
 let meta ?(time = 100) ?(freq = 3) () : Harrier.Events.meta =
-  { pid = 1; time; freq; addr = 0x1000 }
+  { pid = 1; time; freq; addr = 0x1000; step = 0 }
 
 let file_res ?(origin = Taint.Tagset.empty) name : Harrier.Events.resource =
   { r_kind = Harrier.Events.R_file; r_name = name; r_origin = origin }
@@ -67,6 +67,26 @@ let test_warning_dedup_max () =
   check_int "dedup" 2 (List.length (Warning.dedup ws));
   check "max severity" true (Warning.max_severity ws = Some Severity.High);
   check "max of empty" true (Warning.max_severity [] = None)
+
+let test_warning_dedup_multiplicity () =
+  let w sev msg =
+    Warning.make ~severity:sev ~rule:"r" ~pid:1 ~time:0 msg
+  in
+  let ws =
+    [ w Severity.Low "a"; w Severity.High "b"; w Severity.Low "a";
+      w Severity.Low "a" ]
+  in
+  match Warning.dedup ws with
+  | [ a; b ] ->
+    check_int "first keeps its multiplicity" 3 a.Warning.mult;
+    check_int "singleton stays at one" 1 b.Warning.mult;
+    check "multiplicity rendered" true
+      (Astring.String.is_infix ~affix:"(x3)" (Warning.to_string a));
+    check "no (x1) noise" false
+      (Astring.String.is_infix ~affix:"(x1)" (Warning.to_string b))
+  | other ->
+    Alcotest.failf "expected two distinct warnings, got %d"
+      (List.length other)
 
 (* ------------------------------------------------------------------ *)
 (* Trust                                                               *)
@@ -325,6 +345,8 @@ let suite =
       test_warning_pp_rare;
     Alcotest.test_case "warning dedup and max" `Quick
       test_warning_dedup_max;
+    Alcotest.test_case "warning dedup multiplicity" `Quick
+      test_warning_dedup_multiplicity;
     Alcotest.test_case "trust database" `Quick test_trust;
     Alcotest.test_case "fact encoding: exec" `Quick
       test_fact_encoding_exec;

@@ -33,7 +33,7 @@ let test_roundtrip_binary_head () =
           { r_kind = Harrier.Events.R_file; r_name = "/t";
             r_origin = Taint.Tagset.empty };
         via_server = None; len = 10;
-        meta = { pid = 1; time = 2; freq = 3; addr = 4 } }
+        meta = { pid = 1; time = 2; freq = 3; addr = 4; step = 5 } }
   in
   match Hth.Trace.of_string (Hth.Trace.to_string [ e ]) with
   | Ok [ Harrier.Events.Transfer { head; _ } ] ->
