@@ -10,6 +10,9 @@
 open Bechamel
 open Toolkit
 
+(* one arena for every tag set this benchmark interns *)
+let sp = Taint.Space.create ()
+
 (* The workload: an instruction-dense copy/checksum kernel (~60k
    instructions), so per-instruction monitoring dominates. *)
 let workload () = Guest.Perf_workload.scenario ~iters:100
@@ -50,14 +53,14 @@ let policy_tests () =
   let transfer =
     Harrier.Events.Transfer
       { call = "SYS_write";
-        data = Taint.Tagset.singleton (Taint.Source.File "/a");
+        data = (Taint.Tagset.singleton sp) (Taint.Source.File "/a");
         head = "";
         sources =
           [ Taint.Source.File "/a",
-            Taint.Tagset.singleton (Taint.Source.Binary "/mal") ];
+            (Taint.Tagset.singleton sp) (Taint.Source.Binary "/mal") ];
         target =
           { r_kind = Harrier.Events.R_file; r_name = "/t";
-            r_origin = Taint.Tagset.singleton (Taint.Source.Binary "/mal") };
+            r_origin = (Taint.Tagset.singleton sp) (Taint.Source.Binary "/mal") };
         via_server = None; len = 16; meta }
   in
   let feed policy () =
@@ -73,12 +76,12 @@ let policy_tests () =
         (Staged.stage (feed Secpert.System.Clips)) ]
 
 let tag_a =
-  Taint.Tagset.of_list
+  (Taint.Tagset.of_list sp)
     [ Taint.Source.User_input; Taint.Source.File "/a";
       Taint.Source.Binary "/bin/x" ]
 
 let tag_b =
-  Taint.Tagset.of_list
+  (Taint.Tagset.of_list sp)
     [ Taint.Source.Socket "peer:1"; Taint.Source.File "/a" ]
 
 (* An indexed-WM inference workload: 4 templates x 50 facts, one
@@ -111,7 +114,7 @@ let secpert_execve_workload () =
   in
   let res : Harrier.Events.resource =
     { r_kind = Harrier.Events.R_file; r_name = "/bin/ls";
-      r_origin = Taint.Tagset.singleton (Taint.Source.Binary "/bin/x") }
+      r_origin = (Taint.Tagset.singleton sp) (Taint.Source.Binary "/bin/x") }
   in
   for _ = 1 to 50 do
     ignore
@@ -120,12 +123,12 @@ let secpert_execve_workload () =
   done
 
 let component_tests () =
-  let shadow = Harrier.Shadow.create () in
+  let shadow = Harrier.Shadow.create ~space:sp () in
   (* crosses the 4 KiB page boundary on purpose *)
   let straddle_addr = 0x8000 - 8 in
   Test.make_grouped ~name:"components"
     [ Test.make ~name:"tagset union (interned, memo hit)"
-        (Staged.stage (fun () -> ignore (Taint.Tagset.union tag_a tag_b)));
+        (Staged.stage (fun () -> ignore ((Taint.Tagset.union sp) tag_a tag_b)));
       Test.make ~name:"tagset equal (pointer)"
         (Staged.stage (fun () -> ignore (Taint.Tagset.equal tag_a tag_b)));
       Test.make ~name:"shadow 4-byte store+load"
@@ -140,6 +143,61 @@ let component_tests () =
         (Staged.stage wm_inference);
       Test.make ~name:"secpert 50 execve events"
         (Staged.stage secpert_execve_workload) ]
+
+(* ------------------------------------------------------------------ *)
+(* Corpus throughput: the nine golden scenarios swept back-to-back.
+   Cold per-session setup (one single-use engine per run, as
+   Hth.Session does) against one shared engine whose compiled policy
+   and linked-image cache persist across the sweep, and against the
+   shared engine in its fast configuration (no event accumulation, one
+   shared taint arena). *)
+
+let golden_corpus () =
+  List.filter_map Guest.Corpus.find
+    [ "ElmExploit"; "nlspath"; "procex"; "grabem"; "vixie crontab";
+      "pma"; "superforker"; "ls"; "column" ]
+
+let corpus_size = List.length (golden_corpus ())
+
+let sweep run_one scs () =
+  List.iter (fun (sc : Guest.Scenario.t) -> ignore (run_one sc.sc_setup)) scs
+
+(* Corpus rows are measured by sustained averaging, not bechamel's
+   OLS.  A cold sweep allocates (and drops) two dozen one-megabyte
+   address spaces, so its cost includes real GC debt whose repayment
+   drifts across consecutive samples; that drift wrecks the OLS fit,
+   and whatever live heap earlier benchmark groups left behind leaks
+   into the estimate.  Compacting, warming twice, then averaging whole
+   sweeps charges each configuration exactly its own steady-state
+   cost — the number a long corpus run actually observes. *)
+let sustained_ns ?(rounds = 60) f =
+  Gc.compact ();
+  f ();
+  f ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float rounds *. 1e9
+
+let corpus_results () =
+  let scs = golden_corpus () in
+  let shared = Hth.Engine.create () in
+  let shared_clips = Hth.Engine.create ~policy:Secpert.System.Clips () in
+  let shared_fast =
+    Hth.Engine.create ~keep_events:false ~share_taint_space:true ()
+  in
+  [ "corpus/cold per-session setup (native)",
+    sustained_ns (sweep Hth.Session.run scs);
+    "corpus/shared engine (native)",
+    sustained_ns (sweep (Hth.Engine.run shared) scs);
+    "corpus/cold per-session setup (clips)",
+    sustained_ns (sweep (Hth.Session.run ~policy:Secpert.System.Clips) scs);
+    "corpus/shared engine (clips)",
+    sustained_ns (sweep (Hth.Engine.run shared_clips) scs);
+    "corpus/shared engine (native, no events, shared taint)",
+    sustained_ns (sweep (Hth.Engine.run shared_fast) scs) ]
+  |> List.sort compare
 
 let analyze tests =
   let ols =
@@ -195,12 +253,44 @@ let json_group name results extra =
   Printf.sprintf "  \"%s\": [\n%s\n  ]" name
     (String.concat ",\n" (List.map entry results))
 
-let write_json path ~levels ~native ~components ~policies =
+(* The cold row a corpus result should be compared against: the one
+   running the same policy ("(clips)" rows vs the cold clips sweep,
+   everything else vs the cold native sweep). *)
+let corpus_cold_for corpus name =
+  let is_clips n =
+    let affix = "(clips)" in
+    let na = String.length affix and nn = String.length n in
+    let rec at i = i + na <= nn && (String.sub n i na = affix || at (i + 1)) in
+    at 0
+  in
+  let cold_name =
+    if is_clips name then "corpus/cold per-session setup (clips)"
+    else "corpus/cold per-session setup (native)"
+  in
+  match List.find_opt (fun (n, _) -> n = cold_name) corpus with
+  | Some (_, ns) -> Some ns
+  | None -> None
+
+let write_json path ~levels ~native ~components ~policies ~corpus =
   let slowdown _ ns =
     if Float.is_nan native || native = 0. then []
     else [ Printf.sprintf "\"slowdown_vs_native\": %.2f" (ns /. native) ]
   in
   let no_extra _ _ = [] in
+  let corpus_extra name ns =
+    (* one benchmark run is a sweep of the whole golden corpus; each
+       shared-engine row is compared against the cold row running the
+       same policy *)
+    let fields =
+      [ Printf.sprintf "\"sessions_per_sec\": %.0f"
+          (float_of_int corpus_size *. 1e9 /. ns) ]
+    in
+    match corpus_cold_for corpus name with
+    | Some cold when cold > 0. ->
+      fields
+      @ [ Printf.sprintf "\"speedup_vs_cold\": %.2f" (cold /. ns) ]
+    | _ -> fields
+  in
   let doc =
     String.concat "\n"
       [ "{";
@@ -208,7 +298,8 @@ let write_json path ~levels ~native ~components ~policies =
         "  \"unit\": \"ns/run\",";
         json_group "levels" levels slowdown ^ ",";
         json_group "components" components no_extra ^ ",";
-        json_group "policy" policies no_extra;
+        json_group "policy" policies no_extra ^ ",";
+        json_group "corpus" corpus corpus_extra;
         "}" ]
   in
   let oc = open_out path in
@@ -243,4 +334,19 @@ let run ?(json_path = "BENCH_perf.json") () =
   Grid.print ~title:"Secpert policy engines (same event stream)"
     ~headers:[ "Policy"; "time/run" ]
     (List.map (fun (name, ns) -> [ name; human_ns ns ]) policies);
-  write_json json_path ~levels ~native ~components ~policies
+  let corpus = corpus_results () in
+  Grid.print
+    ~title:
+      (Printf.sprintf "Corpus throughput (%d golden scenarios per sweep)"
+         corpus_size)
+    ~headers:
+      [ "Configuration"; "time/sweep"; "sessions/s"; "vs cold (same policy)" ]
+    (List.map
+       (fun (name, ns) ->
+         [ name; human_ns ns;
+           Printf.sprintf "%.0f" (float_of_int corpus_size *. 1e9 /. ns);
+           (match corpus_cold_for corpus name with
+            | Some cold when cold > 0. -> Printf.sprintf "%.2fx" (cold /. ns)
+            | _ -> "-") ])
+       corpus);
+  write_json json_path ~levels ~native ~components ~policies ~corpus

@@ -13,10 +13,10 @@ let () =
     [ Perf.bare_config; Perf.freq_config; Perf.dataflow_config;
       Harrier.Monitor.default_config ];
   (* component micro-operations *)
-  let u = Taint.Tagset.union Perf.tag_a Perf.tag_b in
+  let u = Taint.Tagset.union Perf.sp Perf.tag_a Perf.tag_b in
   check "union memoized"
-    (Taint.Tagset.equal u (Taint.Tagset.union Perf.tag_b Perf.tag_a));
-  let shadow = Harrier.Shadow.create () in
+    (Taint.Tagset.equal u (Taint.Tagset.union Perf.sp Perf.tag_b Perf.tag_a));
+  let shadow = Harrier.Shadow.create ~space:Perf.sp () in
   let straddle = 0x1000 - 8 in
   Harrier.Shadow.set_range shadow straddle 64 u;
   check "straddling range"
@@ -26,6 +26,22 @@ let () =
   check "cleared" (Harrier.Shadow.tagged_bytes shadow = 0);
   Perf.wm_inference ();
   Perf.secpert_execve_workload ();
+  (* corpus throughput paths: a cold sweep and a shared-engine sweep
+     must agree on warnings for every golden scenario *)
+  let scs = Perf.golden_corpus () in
+  check "golden corpus present" (List.length scs = Perf.corpus_size);
+  let eng = Hth.Engine.create () in
+  List.iter
+    (fun (sc : Guest.Scenario.t) ->
+      let cold = Hth.Session.run sc.sc_setup in
+      let warm = Hth.Engine.run eng sc.sc_setup in
+      check
+        ("engine verdict matches cold: " ^ sc.sc_name)
+        (cold.max_severity = warm.max_severity
+        && List.map Secpert.Warning.to_string cold.warnings
+           = List.map Secpert.Warning.to_string warm.warnings))
+    scs;
+  Perf.sweep (Hth.Engine.run eng) scs ();
   (* observability: counters move, the JSONL trace is byte-deterministic,
      and the no-op sink is restored afterwards *)
   let r = Hth.Session.run sc.sc_setup in
@@ -50,6 +66,9 @@ let () =
     ~levels:[ "harrier-levels/native (no monitor)", 1e6 ]
     ~native:1e6
     ~components:[ "components/tagset union (interned, memo hit)", 10. ]
-    ~policies:[ "policy/native rules (20 transfers)", 1e5 ];
+    ~policies:[ "policy/native rules (20 transfers)", 1e5 ]
+    ~corpus:
+      [ "corpus/cold per-session setup (native)", 2e6;
+        "corpus/shared engine (native)", 1e6 ];
   Sys.remove tmp;
   print_endline "bench smoke ok"

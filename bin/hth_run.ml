@@ -223,12 +223,23 @@ let run_cmd =
 
 let batch_cmd =
   let doc =
-    "Run the whole corpus, isolating per-scenario failures.  Prints one \
-     summary row per scenario and exits nonzero if any scenario errored \
+    "Run the whole corpus through one shared engine, isolating \
+     per-scenario failures.  The engine compiles the policy and links \
+     each scenario's images once; per-scenario failures print one \
+     summary row and the exit status is nonzero if any scenario errored \
      or missed its expected verdict — without a single broken scenario \
      aborting the rest."
   in
-  let run trust_nothing clips kill_at fault_plan seed budget_specs =
+  let share_taint_flag =
+    let doc =
+      "Share one taint arena across the whole batch (faster; per-run \
+       taint.* counters become warm-dependent and are omitted from \
+       traces)."
+    in
+    Arg.(value & flag & info [ "share-taint" ] ~doc)
+  in
+  let run trust_nothing clips kill_at fault_plan seed budget_specs
+      share_taint =
     let budgets = budgets_of budget_specs in
     let fault = fault_of fault_plan seed in
     let trust =
@@ -247,13 +258,16 @@ let batch_cmd =
     let policy =
       if clips then Secpert.System.Clips else Secpert.System.Native
     in
+    let engine =
+      Hth.Engine.create ~trust ~policy ?auto_kill
+        ~share_taint_space:share_taint ()
+    in
     let failures = ref 0 and errors = ref 0 and degraded = ref 0 in
     Fmt.pr "%-40s %-18s %-22s %s@." "scenario" "expected" "outcome" "notes";
     List.iter
       (fun (sc : Guest.Scenario.t) ->
         match
-          Hth.Session.run_outcome ~trust ~policy ?auto_kill ~budgets ~fault
-            sc.sc_setup
+          Hth.Engine.run_outcome engine ~budgets ~fault sc.sc_setup
         with
         | Error e ->
           incr errors;
@@ -281,7 +295,7 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       const run $ trust_nothing_flag $ clips_flag $ kill_at_arg
-      $ fault_plan_arg $ seed_arg $ budget_args)
+      $ fault_plan_arg $ seed_arg $ budget_args $ share_taint_flag)
 
 let trace_cmd =
   let doc =

@@ -6,6 +6,11 @@
    profile round-trips through plain text, so it can live in a dotfile
    between runs.
 
+   All sessions run through one [Hth.Engine.t]: the policy is compiled
+   and the images linked once, and every later run reuses them — the
+   natural shape for a tool that monitors program after program against
+   one profile.
+
      dune exec examples/cross_session.exe *)
 
 let find name =
@@ -26,9 +31,11 @@ let show title profile (r : Hth.Session.result) =
 let () =
   let gxx = find "g++" in
   let profile = Hth.Profile.create () in
+  (* compile-once shared artifacts: every session below reuses them *)
+  let engine = Hth.Engine.create () in
 
   (* session 1: the compiler driver warns, the user inspects and accepts *)
-  let r1 = Hth.Session.run gxx.sc_setup in
+  let r1 = Hth.Engine.run engine gxx.sc_setup in
   show "session 1 (fresh profile)" profile r1;
   List.iter
     (fun w -> Fmt.pr "user acknowledges:@.%s@.@." (Secpert.Warning.to_string w))
@@ -41,11 +48,12 @@ let () =
     saved;
   let profile = Hth.Profile.of_string saved in
 
-  (* session 2: the same behaviour is now expected *)
-  let r2 = Hth.Session.run gxx.sc_setup in
+  (* session 2: the same behaviour is now expected — and the engine's
+     linked-image cache makes re-running the same setup cheap *)
+  let r2 = Hth.Engine.run engine gxx.sc_setup in
   show "session 2 (profile loaded)" profile r2;
 
   (* but a different program's malice is still flagged *)
   let grabem = find "grabem" in
-  let r3 = Hth.Session.run grabem.sc_setup in
+  let r3 = Hth.Engine.run engine grabem.sc_setup in
   show "grabem under the same profile" profile r3

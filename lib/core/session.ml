@@ -1,4 +1,9 @@
-type setup = {
+(* One-shot sessions: the historical convenience API, now thin wrappers
+   over {!Engine}.  Each [run] builds a single-use engine (compiling
+   the policy and linking images for just this run) and discards it;
+   callers that run many sessions should hold an [Engine.t] instead. *)
+
+type setup = Engine.setup = {
   programs : Binary.Image.t list;
   files : (string * string) list;
   hosts : (string * int) list;
@@ -11,16 +16,11 @@ type setup = {
   max_ticks : int;
 }
 
-let localhost_ip = 0x0100007F
+let localhost_ip = Engine.localhost_ip
 
-let setup ?(programs = []) ?(files = []) ?(hosts = []) ?(servers = [])
-    ?(incoming = []) ?(user_input = []) ?argv ?(env = [])
-    ?(max_ticks = 2_000_000) ~main () =
-  let argv = match argv with Some a -> a | None -> [ main ] in
-  { programs; files; hosts; servers; incoming; user_input; main; argv; env;
-    max_ticks }
+let setup = Engine.setup
 
-type result = {
+type result = Engine.result = {
   os_report : Osim.Kernel.report;
   events : Harrier.Events.t list;
   warnings : Secpert.Warning.t list;
@@ -32,172 +32,27 @@ type result = {
   hot_blocks : (int * int * int) list;
 }
 
-(* ------------------------------------------------------------------ *)
-(* Supervisor budgets                                                  *)
-
-type budgets = {
+type budgets = Engine.budgets = {
   b_ticks : int option;
   b_wm_facts : int option;
   b_shadow_pages : int option;
   b_warnings : int option;
 }
 
-let no_budgets =
-  { b_ticks = None; b_wm_facts = None; b_shadow_pages = None;
-    b_warnings = None }
+let no_budgets = Engine.no_budgets
 
-let budget_keys = "ticks, wm, shadow-pages, warnings"
-
-let apply_budget b spec =
-  match String.index_opt spec '=' with
-  | None -> Error (Fmt.str "budget %S: expected KEY=N (keys: %s)" spec
-                     budget_keys)
-  | Some eq ->
-    let key = String.sub spec 0 eq in
-    let v = String.sub spec (eq + 1) (String.length spec - eq - 1) in
-    (match int_of_string_opt v with
-     | Some n when n >= 1 ->
-       (match key with
-        | "ticks" -> Ok { b with b_ticks = Some n }
-        | "wm" -> Ok { b with b_wm_facts = Some n }
-        | "shadow-pages" -> Ok { b with b_shadow_pages = Some n }
-        | "warnings" -> Ok { b with b_warnings = Some n }
-        | k ->
-          Error (Fmt.str "budget %S: unknown key %S (keys: %s)" spec k
-                   budget_keys))
-     | Some _ | None ->
-       Error (Fmt.str "budget %S: %S must be a positive int" spec v))
-
-let parse_budgets specs =
-  List.fold_left
-    (fun acc spec -> Result.bind acc (fun b -> apply_budget b spec))
-    (Ok no_budgets) specs
-
-(* Per-phase wall-clock histograms (stats only — never trace data). *)
-let h_build = Obs.Histogram.make "session.phase.build"
-let h_spawn = Obs.Histogram.make "session.phase.spawn"
-let h_run = Obs.Histogram.make "session.phase.run"
-
-let phase name h f =
-  if Obs.Trace.enabled () then Obs.Trace.emit "phase" [ "name", Obs.Str name ];
-  Obs.Span.time h f
-
-let build_world s =
-  let fs = Osim.Fs.create () in
-  List.iter (fun img -> Osim.Fs.install_image fs img) s.programs;
-  List.iter (fun (path, data) -> Osim.Fs.install fs path data) s.files;
-  let net = Osim.Net.create () in
-  Osim.Net.add_host net "LocalHost" localhost_ip;
-  List.iter (fun (name, ip) -> Osim.Net.add_host net name ip) s.hosts;
-  (* the guest libc resolves names against this database *)
-  Osim.Fs.install fs "/etc/hosts.db" (Osim.Net.hosts_db net);
-  List.iter
-    (fun (host, port, actor) -> Osim.Net.add_server net ~host ~port actor)
-    s.servers;
-  List.iter
-    (fun (port, actor) -> Osim.Net.add_incoming net ~port actor)
-    s.incoming;
-  fs, net
-
-(* One increment per session under [session.outcome.<kind>]:
-   ok / degraded for completed runs, the {!Error.kind} otherwise. *)
-let note_outcome kind =
-  Obs.Counter.incr (Obs.Counter.labeled "session.outcome" kind)
+let parse_budgets = Engine.parse_budgets
 
 let run_outcome ?monitor_config ?trust ?thresholds ?auto_kill ?policy
-    ?(budgets = no_budgets) ?(fault = Osim.Fault.none) s =
-  let before = Obs.snapshot () in
-  let fail e =
-    note_outcome (Error.kind e);
-    Stdlib.Error e
+    ?budgets ?fault s =
+  let eng =
+    (* mem_pool_cap:0 — a single-use engine must not retain recycled
+       address spaces; that only keeps dead megabytes alive until the
+       engine itself is collected *)
+    Engine.create ?monitor_config ?trust ?thresholds ?auto_kill ?policy
+      ~mem_pool_cap:0 ()
   in
-  let mcfg =
-    let base =
-      Option.value monitor_config ~default:Harrier.Monitor.default_config
-    in
-    match budgets.b_shadow_pages with
-    | None -> base
-    | Some n -> { base with Harrier.Monitor.shadow_page_budget = Some n }
-  in
-  match
-    phase "build" h_build (fun () ->
-        let fs, net = build_world s in
-        let kernel =
-          Osim.Kernel.create ~fs ~net ~user_input:s.user_input ~fault ()
-        in
-        let monitor = Harrier.Monitor.attach ~config:mcfg kernel in
-        let secpert =
-          try
-            Secpert.System.create ?trust ?thresholds ?auto_kill
-              ?warning_cap:budgets.b_warnings ?wm_budget:budgets.b_wm_facts
-              ?policy ()
-          with Failure msg -> raise (Error.Error_exn (Error.Policy_error msg))
-        in
-        Secpert.System.attach secpert monitor;
-        kernel, monitor, secpert)
-  with
-  | exception Error.Error_exn e -> fail e
-  | exception e ->
-    fail (Error.Crash { phase = "build"; exn = Printexc.to_string e })
-  | kernel, monitor, secpert ->
-    (match
-       phase "spawn" h_spawn (fun () ->
-           Osim.Kernel.spawn ~env:s.env kernel ~path:s.main ~argv:s.argv)
-     with
-     | exception e ->
-       fail (Error.Crash { phase = "spawn"; exn = Printexc.to_string e })
-     | Error msg -> fail (Error.Load_failure { path = s.main; reason = msg })
-     | Ok _ ->
-       let max_ticks =
-         match budgets.b_ticks with
-         | Some n -> min s.max_ticks n
-         | None -> s.max_ticks
-       in
-       (match phase "run" h_run (fun () -> Osim.Kernel.run kernel ~max_ticks)
-        with
-        | exception e ->
-          fail (Error.Crash { phase = "run"; exn = Printexc.to_string e })
-        | os_report ->
-          let degraded =
-            Harrier.Monitor.degraded monitor @ Secpert.System.degraded secpert
-          in
-          note_outcome (if degraded = [] then "ok" else "degraded");
-          let stats = Obs.diff ~before ~after:(Obs.snapshot ()) in
-          let hot_blocks = Harrier.Monitor.hot_blocks monitor ~limit:10 in
-          (* Embed the per-run profile in the trace so offline analysis
-             ([hth_trace profile]) reproduces the live [--stats] numbers
-             from the file alone.  The [taint.*] counters are excluded:
-             they measure process-global interning caches whose
-             hit/miss split depends on what ran earlier in the process,
-             so embedding them would break the run-twice byte-identity
-             gate.  Everything else in the diff is per-run state. *)
-          if Obs.Trace.enabled () then begin
-            List.iter
-              (fun (n, v) ->
-                let global_cache =
-                  String.length n >= 6 && String.sub n 0 6 = "taint."
-                in
-                if not global_cache then
-                  Obs.Trace.emit "counter"
-                    [ "name", Obs.Str n; "value", Obs.Int v ])
-              stats;
-            List.iter
-              (fun (pid, addr, count) ->
-                Obs.Trace.emit "hot_block"
-                  [ "pid", Obs.Int pid; "addr", Obs.Int addr;
-                    "count", Obs.Int count ])
-              hot_blocks
-          end;
-          Ok
-            { os_report;
-              events = Harrier.Monitor.events monitor;
-              warnings = Secpert.System.warnings secpert;
-              distinct = Secpert.System.distinct_warnings secpert;
-              max_severity = Secpert.System.max_severity secpert;
-              event_count = Harrier.Monitor.event_count monitor;
-              degraded;
-              stats;
-              hot_blocks }))
+  Engine.run_outcome eng ?budgets ?fault s
 
 let run ?monitor_config ?trust ?thresholds ?auto_kill ?policy ?budgets ?fault
     s =
@@ -208,13 +63,4 @@ let run ?monitor_config ?trust ?thresholds ?auto_kill ?policy ?budgets ?fault
   | Ok r -> r
   | Error e -> raise (Error.Error_exn e)
 
-let run_unmonitored s =
-  let fs, net = build_world s in
-  let kernel = Osim.Kernel.create ~fs ~net ~user_input:s.user_input () in
-  (match Osim.Kernel.spawn ~env:s.env kernel ~path:s.main ~argv:s.argv
-   with
-   | Ok _ -> ()
-   | Error msg ->
-     raise
-       (Error.Error_exn (Error.Load_failure { path = s.main; reason = msg })));
-  Osim.Kernel.run kernel ~max_ticks:s.max_ticks
+let run_unmonitored = Engine.run_unmonitored

@@ -1,12 +1,18 @@
-(** Running a guest world under full HTH monitoring.
+(** Running a guest world under full HTH monitoring — the one-shot API.
 
     A {!setup} describes everything about one experiment: the images and
     files installed, the network (hosts, scripted servers, scripted
     incoming attackers), the user's typed input, and the program to run.
     [run] builds the kernel, attaches Harrier and Secpert, spawns the
-    program and drives the world to completion. *)
+    program and drives the world to completion.
 
-type setup = {
+    These are thin wrappers over {!Engine}: each call builds a
+    single-use engine and discards it.  Types are shared with the
+    engine ([setup], [result], [budgets] are equations), so values
+    flow freely between the two APIs.  Callers running many sessions
+    should create one {!Engine.t} and reuse it. *)
+
+type setup = Engine.setup = {
   programs : Binary.Image.t list;  (** images installed into the fs *)
   files : (string * string) list;  (** plain files: (path, contents) *)
   hosts : (string * int) list;  (** DNS entries: (name, ip) *)
@@ -40,7 +46,7 @@ val setup :
 (** The loopback address every world knows as ["LocalHost"]. *)
 val localhost_ip : int
 
-type result = {
+type result = Engine.result = {
   os_report : Osim.Kernel.report;
   events : Harrier.Events.t list;
   warnings : Secpert.Warning.t list;
@@ -67,7 +73,7 @@ type result = {
     gracefully: trips surface in {!result.degraded} (and through
     over-tainting possibly extra warnings) — they never abort the
     session. *)
-type budgets = {
+type budgets = Engine.budgets = {
   b_ticks : int option;  (** instruction budget; caps [setup.max_ticks] *)
   b_wm_facts : int option;  (** Secpert working-memory fact budget *)
   b_shadow_pages : int option;  (** Harrier shadow pages per process *)

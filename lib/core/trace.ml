@@ -76,8 +76,8 @@ let source_of_sexp = function
   | List [ Atom "binary"; Quoted n ] -> Taint.Source.Binary n
   | f -> err "trace: bad source %a" pp f
 
-let tagset_of_sexp = function
-  | List sources -> Taint.Tagset.of_list (List.map source_of_sexp sources)
+let tagset_of_sexp sp = function
+  | List sources -> Taint.Tagset.of_list sp (List.map source_of_sexp sources)
   | f -> err "trace: bad tagset %a" pp f
 
 let kind_of_atom = function
@@ -86,10 +86,10 @@ let kind_of_atom = function
   | Atom "stdio" -> Harrier.Events.R_stdio
   | f -> err "trace: bad resource kind %a" pp f
 
-let resource_of_sexp = function
+let resource_of_sexp sp = function
   | List [ kind; Quoted name; tags ] ->
     { Harrier.Events.r_kind = kind_of_atom kind; r_name = name;
-      r_origin = tagset_of_sexp tags }
+      r_origin = tagset_of_sexp sp tags }
   | f -> err "trace: bad resource %a" pp f
 
 let int_of_atom = function
@@ -114,10 +114,10 @@ let string_of_quoted = function
   | Quoted s -> s
   | f -> err "trace: expected string, got %a" pp f
 
-let event_of_sexp = function
+let event_of_sexp sp = function
   | List (Atom "exec" :: path :: meta :: argv) ->
     Harrier.Events.Exec
-      { path = resource_of_sexp path; meta = meta_of_sexp meta;
+      { path = resource_of_sexp sp path; meta = meta_of_sexp meta;
         argv = List.map string_of_quoted argv }
   | List [ Atom "clone"; total; recent; window; meta ] ->
     Harrier.Events.Clone
@@ -125,7 +125,7 @@ let event_of_sexp = function
         window = int_of_atom window; meta = meta_of_sexp meta }
   | List [ Atom "access"; Atom call; res; meta ] ->
     Harrier.Events.Access
-      { call; res = resource_of_sexp res; meta = meta_of_sexp meta }
+      { call; res = resource_of_sexp sp res; meta = meta_of_sexp meta }
   | List [ Atom "alloc"; requested; total; meta ] ->
     Harrier.Events.Alloc
       { requested = int_of_atom requested; total = int_of_atom total;
@@ -134,27 +134,30 @@ let event_of_sexp = function
       [ Atom "transfer"; Atom call; data; Quoted head; List sources;
         target; server; len; meta ] ->
     Harrier.Events.Transfer
-      { call; data = tagset_of_sexp data; head;
+      { call; data = tagset_of_sexp sp data; head;
         sources =
           List.map
             (function
               | List [ src; origin ] ->
-                source_of_sexp src, tagset_of_sexp origin
+                source_of_sexp src, tagset_of_sexp sp origin
               | f -> err "trace: bad transfer source %a" pp f)
             sources;
-        target = resource_of_sexp target;
+        target = resource_of_sexp sp target;
         via_server =
           (match server with
            | Atom "none" -> None
-           | s -> Some (resource_of_sexp s));
+           | s -> Some (resource_of_sexp sp s));
         len = int_of_atom len; meta = meta_of_sexp meta }
   | f -> err "trace: unknown event form %a" pp f
 
 let of_string s =
+  (* parsed tag sets live in their own private space, self-consistent
+     within the returned event list *)
+  let sp = Taint.Space.create () in
   match parse_all s with
   | exception Parse_error msg -> Error msg
   | forms ->
-    (try Ok (List.map event_of_sexp forms) with Failure msg -> Error msg)
+    (try Ok (List.map (event_of_sexp sp) forms) with Failure msg -> Error msg)
 
 (* ---------------- replay ---------------- *)
 

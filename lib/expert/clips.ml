@@ -151,7 +151,7 @@ let rec run_action eng env (form : Sexp.t) =
 
 (* --- defrule --------------------------------------------------------- *)
 
-let parse_defrule eng = function
+let compile_defrule = function
   | Sexp.Atom name :: rest ->
     let rest =
       match rest with Sexp.Quoted _ :: r -> r | r -> r
@@ -186,8 +186,10 @@ let parse_defrule eng = function
       let env = { vars = bindings } in
       List.iter (run_action eng env) actions
     in
-    Engine.defrule eng (Engine.rule ~name ~negated ~guard patterns action)
+    Engine.rule ~name ~negated ~guard patterns action
   | _ -> fail "defrule: missing name"
+
+let parse_defrule eng rest = Engine.defrule eng (compile_defrule rest)
 
 (* --- deftemplate ----------------------------------------------------- *)
 
@@ -243,10 +245,37 @@ let load_form eng = function
     run_action eng { vars = [] } f
   | f -> fail "unsupported toplevel form %a" Sexp.pp f
 
-let load eng text =
-  install_builtins eng;
-  try List.iter (load_form eng) (Sexp.parse_all text)
+let parse text =
+  try Sexp.parse_all text
   with Sexp.Parse_error msg -> raise (Error msg)
+
+type installer = Engine.t -> unit
+
+(* Rule values are engine-independent (guards and actions receive the
+   engine at firing time), so the expensive part of a defrule — walking
+   the LHS, building patterns and closing over the action forms — can be
+   done once and the finished rule installed into any number of
+   engines.  The remaining form kinds are engine-stateful (templates can
+   evaluate slot defaults against globals; deffunction/defglobal/assert
+   mutate the engine), so they stay as deferred per-engine loads of the
+   already-parsed form. *)
+let compile_form : Sexp.t -> installer = function
+  | Sexp.List (Sexp.Atom "defrule" :: rest) ->
+    let rule = compile_defrule rest in
+    fun eng -> Engine.defrule eng rule
+  | f -> fun eng -> load_form eng f
+
+let compile_forms forms = List.map compile_form forms
+
+let install_compiled eng installers =
+  install_builtins eng;
+  List.iter (fun f -> f eng) installers
+
+let load_forms eng forms =
+  install_builtins eng;
+  List.iter (load_form eng) forms
+
+let load eng text = load_forms eng (parse text)
 
 let eval eng text =
   try eval_expr eng { vars = [] } (Sexp.parse text)

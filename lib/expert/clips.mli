@@ -19,8 +19,38 @@
 exception Error of string
 
 (** [load engine text] parses and installs every form in [text].
+    Equivalent to [load_forms engine (parse text)].
     @raise Error on syntax or semantic problems. *)
 val load : Engine.t -> string -> unit
+
+(** [parse text] is the parsed toplevel form list of [text], without
+    installing anything.  Parse once, then {!load_forms} the result into
+    any number of engines (compile-once policy sharing).
+    @raise Error on syntax problems. *)
+val parse : string -> Sexp.t list
+
+(** [load_forms engine forms] installs pre-parsed forms (calls
+    {!install_builtins} first).
+    @raise Error on semantic problems. *)
+val load_forms : Engine.t -> Sexp.t list -> unit
+
+(** One compiled toplevel form, ready to install into an engine. *)
+type installer = Engine.t -> unit
+
+(** [compile_forms forms] does the engine-independent compilation work
+    once: defrule LHS walking, pattern construction and action-closure
+    building.  The resulting installers can be applied to any number of
+    engines ({!install_compiled}); rules are shared as finished values,
+    engine-stateful forms (templates, functions, globals, asserts) are
+    loaded per engine.
+    @raise Error on semantic problems in a defrule. *)
+val compile_forms : Sexp.t list -> installer list
+
+(** [install_compiled engine installers] registers the builtins, then
+    applies each installer in order — the compile-once counterpart of
+    {!load_forms}.
+    @raise Error on semantic problems. *)
+val install_compiled : Engine.t -> installer list -> unit
 
 (** [eval engine expr_text] parses one expression and evaluates it with no
     variable bindings (globals are visible); useful in tests. *)

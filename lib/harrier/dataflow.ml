@@ -19,6 +19,7 @@ let write_tag shadow m size (op : Isa.Operand.t) tag =
     Shadow.set_range shadow (Vm.Machine.eff_addr m ref) (size_bytes size) tag
 
 let step shadow m ~imm_tag (insn : Isa.Insn.t) =
+  let sp = Shadow.space shadow in
   match insn with
   | Mov (sz, dst, s) ->
     write_tag shadow m sz dst (operand_tag shadow m imm_tag sz s)
@@ -28,19 +29,20 @@ let step shadow m ~imm_tag (insn : Isa.Insn.t) =
       | Some reg -> Shadow.reg shadow reg
     in
     Shadow.set_reg shadow r
-      (Taint.Tagset.union imm_tag
-         (Taint.Tagset.union (reg_tag ref.base) (reg_tag ref.index)))
+      (Taint.Tagset.union sp imm_tag
+         (Taint.Tagset.union sp (reg_tag ref.base) (reg_tag ref.index)))
   | Add (d, s) | Sub (d, s) | And (d, s) | Or (d, s) | Xor (d, s)
   | Mul (d, s) | Div (d, s) | Shl (d, s) | Shr (d, s) ->
     let tag =
-      Taint.Tagset.union
+      Taint.Tagset.union sp
         (operand_tag shadow m imm_tag Isa.Insn.W d)
         (operand_tag shadow m imm_tag Isa.Insn.W s)
     in
     write_tag shadow m Isa.Insn.W d tag
   | Inc d | Dec d ->
     write_tag shadow m Isa.Insn.W d
-      (Taint.Tagset.union (operand_tag shadow m imm_tag Isa.Insn.W d) imm_tag)
+      (Taint.Tagset.union sp (operand_tag shadow m imm_tag Isa.Insn.W d)
+         imm_tag)
   | Cmp _ | Test _ -> ()
   | Push a ->
     let sp = Vm.Machine.get_reg m ESP - 4 in
@@ -53,7 +55,7 @@ let step shadow m ~imm_tag (insn : Isa.Insn.t) =
     let sp = Vm.Machine.get_reg m ESP - 4 in
     Shadow.set_range shadow sp 4 Taint.Tagset.empty
   | Cpuid ->
-    let hw = Taint.Tagset.singleton Taint.Source.Hardware in
+    let hw = Taint.Tagset.singleton sp Taint.Source.Hardware in
     List.iter
       (fun r -> Shadow.set_reg shadow r hw)
       [ Isa.Reg.EAX; Isa.Reg.EBX; Isa.Reg.ECX; Isa.Reg.EDX ]

@@ -40,8 +40,11 @@ type pstate = {
   mutable seg_info : seg_info option;  (* one-entry instruction cache *)
 }
 
+type sink = Events.t -> Osim.Kernel.decision
+
 type t = {
   cfg : config;
+  space : Taint.Space.t;  (* taint arena shared by every process shadow *)
   kernel : Osim.Kernel.t;
   freq : Freq.t;
   resources : Resources.t;
@@ -52,16 +55,17 @@ type t = {
   mutable pmap : (Vm.Machine.t * pstate) list;
   mutable cur : (Vm.Machine.t * pstate) option;
   mutable clone_times : int list;
-  mutable sink : Events.t -> Osim.Kernel.decision;
-  mutable log : Events.t list;  (* newest first *)
+  mutable sinks : (string * sink) list;  (* dispatch order = registration *)
   mutable count : int;
 }
 
 let config t = t.cfg
 
-let set_sink t f = t.sink <- f
+let space t = t.space
 
-let events t = List.rev t.log
+let subscribe t ~name f = t.sinks <- t.sinks @ [ (name, f) ]
+
+let subscribers t = List.map fst t.sinks
 
 let event_count t = t.count
 
@@ -106,7 +110,7 @@ let imm_tag t image =
   match Hashtbl.find_opt t.imm_tags image with
   | Some tag -> tag
   | None ->
-    let tag = Taint.Tagset.singleton (Taint.Source.Binary image) in
+    let tag = Taint.Tagset.singleton t.space (Taint.Source.Binary image) in
     Hashtbl.replace t.imm_tags image tag;
     tag
 
@@ -160,11 +164,12 @@ let flow_fields : Events.t -> (string * Obs.value) list = function
            "server_origin",
            Obs.Str (Taint.Tagset.to_string srv.Events.r_origin) ])
 
-let emit t e =
-  t.log <- e :: t.log;
-  t.count <- t.count + 1;
-  Obs.Counter.incr c_events;
-  Obs.Counter.incr (Obs.Counter.labeled "harrier.events" (event_kind e));
+(* The trace sink: one structured "flow" line per event.  Must be the
+   {e first} subscriber so the flow line is the very next trace emission
+   after the event's meta was stamped (the meta's [step] is the index
+   that next line will get), and so it precedes any "rule"/"warning"
+   lines a policy sink emits for the same event. *)
+let trace_sink e =
   if Obs.Trace.enabled () then begin
     let m = Events.meta_of e in
     Obs.Trace.emit "flow"
@@ -174,9 +179,28 @@ let emit t e =
        @ flow_fields e
        @ [ "desc", Obs.Str (Fmt.to_to_string Events.pp e) ])
   end;
-  Log.debug (fun f -> f "event %a" Events.pp e);
-  t.sink e
+  Osim.Kernel.Allow
 
+(* The metrics sink: per-run event totals, by kind. *)
+let metrics_sink e =
+  Obs.Counter.incr c_events;
+  Obs.Counter.incr (Obs.Counter.labeled "harrier.events" (event_kind e));
+  Osim.Kernel.Allow
+
+(* Dispatch an event to every subscriber in registration order.  All
+   sinks see every event — a [Kill] verdict does not short-circuit the
+   rest (so accumulators and metrics stay exact) — and the combined
+   decision is [Kill] iff any sink said so. *)
+let emit t e =
+  t.count <- t.count + 1;
+  Log.debug (fun f -> f "event %a" Events.pp e);
+  List.fold_left
+    (fun acc (_, f) ->
+      match f e with Osim.Kernel.Kill -> Osim.Kernel.Kill | Allow -> acc)
+    Osim.Kernel.Allow t.sinks
+
+(* Notify subscribers of an event whose decision the kernel will not
+   honour (e.g. SYS_accept at the post hook). *)
 let emit_log_only t e = ignore (emit t e)
 
 let meta t (s : pstate) : Events.meta =
@@ -253,7 +277,8 @@ let on_process_start t (p : Osim.Process.t) =
   t.cur <- None;
   let s =
     { pid = p.pid;
-      shadow = Shadow.create ?page_budget:t.cfg.shadow_page_budget ();
+      shadow =
+        Shadow.create ?page_budget:t.cfg.shadow_page_budget ~space:t.space ();
       sc = Shortcircuit.create t.cfg.shortcircuit; pending_origin = None;
       seg_info = None }
   in
@@ -263,7 +288,7 @@ let on_process_start t (p : Osim.Process.t) =
   let esp = Vm.Machine.get_reg p.machine ESP in
   Shadow.set_range s.shadow esp
     (Osim.Kernel.stack_top - esp)
-    (Taint.Tagset.singleton Taint.Source.User_input)
+    (Taint.Tagset.singleton t.space Taint.Source.User_input)
 
 let on_image_load t (p : Osim.Process.t) (img : Binary.Image.t) =
   (match state_of t p.machine with
@@ -405,11 +430,12 @@ let on_post_syscall t (p : Osim.Process.t) (sc : Osim.Syscall.t) ~result =
     let tag =
       match res with
       | Osim.Syscall.R_stdin ->
-        Taint.Tagset.singleton Taint.Source.User_input
-      | R_file path -> Taint.Tagset.singleton (Taint.Source.File path)
+        Taint.Tagset.singleton t.space Taint.Source.User_input
+      | R_file path -> Taint.Tagset.singleton t.space (Taint.Source.File path)
       | R_sock { sr_peer = Some peer; _ } ->
-        Taint.Tagset.singleton (Taint.Source.Socket peer)
-      | R_sock _ -> Taint.Tagset.singleton (Taint.Source.Socket "remote")
+        Taint.Tagset.singleton t.space (Taint.Source.Socket peer)
+      | R_sock _ ->
+        Taint.Tagset.singleton t.space (Taint.Source.Socket "remote")
       | R_stdout | R_stderr | R_unknown -> Taint.Tagset.empty
     in
     Shadow.set_range s.shadow buf result tag
@@ -459,13 +485,16 @@ let on_post_syscall t (p : Osim.Process.t) (sc : Osim.Syscall.t) ~result =
   | Fork | Write _ | Time | Getpid | Nanosleep _ | Brk _ | Socket
   | Bind _ | Listen _ | Unknown _ -> ()
 
-let attach ?(config = default_config) kernel =
+let attach ?(config = default_config) ?space kernel =
+  let space =
+    match space with Some sp -> sp | None -> Taint.Space.create ()
+  in
   let t =
-    { cfg = config; kernel; freq = Freq.create ();
+    { cfg = config; space; kernel; freq = Freq.create ();
       resources = Resources.create (); routines = Hashtbl.create 8;
       name_origins = Hashtbl.create 32;
       imm_tags = Hashtbl.create 8; pmap = []; cur = None; clone_times = [];
-      sink = (fun _ -> Osim.Kernel.Allow); log = []; count = 0 }
+      sinks = []; count = 0 }
   in
   let hooks = Osim.Kernel.hooks kernel in
   if config.track_dataflow || config.shortcircuit <> [] then

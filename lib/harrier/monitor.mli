@@ -3,9 +3,11 @@
     [attach] wires the monitor into a kernel: it installs the machine
     hooks (instruction dataflow, basic-block frequency) and the kernel
     monitor callbacks (image loads, process starts, forks, syscalls).
-    Events are delivered to a {e sink} — Secpert in the full framework —
-    which may answer [Kill] to stop the offending process before the
-    system call executes. *)
+    Events are delivered to a list of {e subscribers} registered with
+    {!subscribe} — trace emission, metrics, an event accumulator, and
+    Secpert in the full framework.  Every subscriber sees every event;
+    any of them may answer [Kill], which stops the offending process
+    before the system call executes. *)
 
 type config = {
   track_dataflow : bool;  (** per-instruction taint (Section 7.3) *)
@@ -25,18 +27,43 @@ val default_config : config
 
 type t
 
-(** [attach ?config kernel] installs the monitor.  Call before
-    [Kernel.spawn]. *)
-val attach : ?config:config -> Osim.Kernel.t -> t
+(** An event consumer.  Sinks are called in registration order on every
+    event; the monitor's combined decision is [Kill] iff any sink
+    answered [Kill] (no sink is skipped — accumulators and metrics stay
+    exact even for killed processes). *)
+type sink = Events.t -> Osim.Kernel.decision
+
+(** [attach ?config ?space kernel] installs the monitor.  Call before
+    [Kernel.spawn].  [space] is the taint hash-consing arena used for
+    every tag the monitor creates (process shadows share it); absent, a
+    fresh private space is created. *)
+val attach : ?config:config -> ?space:Taint.Space.t -> Osim.Kernel.t -> t
 
 val config : t -> config
 
-(** [set_sink t f] routes events to [f]; the decision of [f] is honoured
-    for events emitted {e before} a system call executes. *)
-val set_sink : t -> (Events.t -> Osim.Kernel.decision) -> unit
+(** The taint space all of this monitor's tags live in. *)
+val space : t -> Taint.Space.t
 
-(** [events t] is every event emitted so far, oldest first. *)
-val events : t -> Events.t list
+(** [subscribe t ~name f] appends [f] to the subscriber list.  [name]
+    identifies the sink in {!subscribers} (diagnostics).  Decisions of
+    sinks are honoured for events emitted {e before} a system call
+    executes.
+
+    Registration order is the dispatch order, and it matters for traced
+    runs: {!trace_sink} must be registered {e first}, so each event's
+    "flow" line lands at the step pre-stamped in its meta and precedes
+    any "rule"/"warning" lines emitted by a policy sink downstream. *)
+val subscribe : t -> name:string -> sink -> unit
+
+(** Registered sink names, in dispatch order. *)
+val subscribers : t -> string list
+
+(** Emits one structured "flow" trace line per event (no-op when
+    tracing is off).  Register first; see {!subscribe}. *)
+val trace_sink : sink
+
+(** Counts events into [harrier.events] and [harrier.events.<kind>]. *)
+val metrics_sink : sink
 
 val event_count : t -> int
 

@@ -25,6 +25,7 @@ type page = {
 let no_page = { data = [||]; live = 0 }
 
 type t = {
+  space : Taint.Space.t;  (* hash-consing arena for every union below *)
   regs : Taint.Tagset.t array;
   pages : (int, page) Hashtbl.t;  (* page index -> page *)
   budget : int;  (* max live pages before saturation (max_int = none) *)
@@ -48,12 +49,17 @@ let c_pages_live = Obs.Counter.make "harrier.shadow.pages_live"
 let c_degraded = Obs.Counter.make "harrier.degraded"
 let c_refused = Obs.Counter.make "harrier.shadow.stores_refused"
 
-let create ?page_budget () =
-  { regs = Array.make Isa.Reg.count Taint.Tagset.empty;
+let create ?page_budget ?space () =
+  let space =
+    match space with Some sp -> sp | None -> Taint.Space.create ()
+  in
+  { space; regs = Array.make Isa.Reg.count Taint.Tagset.empty;
     pages = Hashtbl.create 64;
     budget = (match page_budget with Some b -> max 0 b | None -> max_int);
     overflow = Taint.Tagset.empty; tagged = 0; last_idx = min_int;
     last_page = no_page }
+
+let space s = s.space
 
 let degraded s = not (Taint.Tagset.is_empty s.overflow)
 
@@ -64,7 +70,7 @@ let live_pages s = Hashtbl.length s.pages
 let refuse s tag =
   Obs.Counter.incr c_refused;
   if not (degraded s) then Obs.Counter.incr c_degraded;
-  s.overflow <- Taint.Tagset.union s.overflow tag
+  s.overflow <- Taint.Tagset.union s.space s.overflow tag
 
 let clone s =
   let pages = Hashtbl.create (Hashtbl.length s.pages) in
@@ -73,7 +79,7 @@ let clone s =
     (fun idx p ->
       Hashtbl.add pages idx { data = Array.copy p.data; live = p.live })
     s.pages;
-  { regs = Array.copy s.regs; pages; budget = s.budget;
+  { space = s.space; regs = Array.copy s.regs; pages; budget = s.budget;
     overflow = s.overflow; tagged = s.tagged; last_idx = min_int;
     last_page = no_page }
 
@@ -111,7 +117,7 @@ let remove_page s idx =
    (one pointer compare) otherwise. *)
 let[@inline] widen s t =
   if Taint.Tagset.is_empty s.overflow then t
-  else Taint.Tagset.union t s.overflow
+  else Taint.Tagset.union s.space t s.overflow
 
 let byte s addr =
   Obs.Counter.incr c_loads;
@@ -166,7 +172,7 @@ let empty_tag = Taint.Tagset.empty
    already accumulated cost one pointer comparison per byte (interning),
    and [union] itself fast-paths the empty/equal cases.  Written as a
    tail loop so no [ref] cell is allocated per call. *)
-let union_in_page p off n acc =
+let union_in_page sp p off n acc =
   let data = p.data in
   let stop = off + n in
   let rec go i acc =
@@ -174,7 +180,8 @@ let union_in_page p off n acc =
     else begin
       let t = data.(i) in
       go (i + 1)
-        (if t != acc && t != empty_tag then Taint.Tagset.union acc t else acc)
+        (if t != acc && t != empty_tag then Taint.Tagset.union sp acc t
+         else acc)
     end
   in
   go off acc
@@ -192,7 +199,8 @@ let range s addr len =
     (* fast path: the whole range lives in one page *)
     let p = get_page s (addr asr page_bits) in
     widen s
-      (if p == no_page then empty_tag else union_in_page p off len empty_tag)
+      (if p == no_page then empty_tag
+       else union_in_page s.space p off len empty_tag)
   end
   else begin
     let acc = ref empty_tag in
@@ -201,7 +209,7 @@ let range s addr len =
       let off = !pos land page_mask in
       let n = min !remaining (page_size - off) in
       let p = get_page s (!pos asr page_bits) in
-      if p != no_page then acc := union_in_page p off n !acc;
+      if p != no_page then acc := union_in_page s.space p off n !acc;
       pos := !pos + n;
       remaining := !remaining - n
     done;

@@ -12,13 +12,19 @@
 
 type t
 
-(** [create ?page_budget ()] builds an empty shadow.  [page_budget]
-    bounds the number of live shadow pages: once reached, stores that
-    would allocate a new page are {e refused} — their tag is folded into
-    a sticky overflow set that widens every subsequent read, so the
-    shadow degrades to conservative over-tainting rather than silently
-    dropping taint.  No budget means unbounded (exact) tracking. *)
-val create : ?page_budget:int -> unit -> t
+(** [create ?page_budget ?space ()] builds an empty shadow.
+    [page_budget] bounds the number of live shadow pages: once reached,
+    stores that would allocate a new page are {e refused} — their tag is
+    folded into a sticky overflow set that widens every subsequent read,
+    so the shadow degrades to conservative over-tainting rather than
+    silently dropping taint.  No budget means unbounded (exact)
+    tracking.  [space] is the taint hash-consing arena every union runs
+    in; it must be the space the stored tags were interned in.  Absent,
+    a fresh private space is created. *)
+val create : ?page_budget:int -> ?space:Taint.Space.t -> unit -> t
+
+(** The taint space this shadow unions in (shared by {!clone}). *)
+val space : t -> Taint.Space.t
 
 (** [degraded s] is true once any store has been refused by the page
     budget; from then on reads over-approximate. *)

@@ -24,6 +24,8 @@ type t = {
   k_net : Net.t;
   mutable k_monitor : monitor;
   k_hooks : Vm.Machine.hooks;
+  k_pool : Vm.Machine.mem_pool option;
+      (* recycled guest address spaces; see [recycle] *)
   k_fault : Fault.state;  (* deterministic fault-injection decisions *)
   quantum : int;
   max_procs : int;
@@ -44,10 +46,11 @@ let c_faults = Obs.Counter.make "osim.faults.injected"
 let stack_top = 0xFF000
 
 let create ?(quantum = 2000) ?(max_procs = 48) ?monitor ?hooks
-    ?(user_input = []) ?(fault = Fault.none) ~fs ~net () =
+    ?(user_input = []) ?(fault = Fault.none) ?mem_pool ~fs ~net () =
   let monitor = match monitor with Some m -> m | None -> null_monitor () in
   let hooks = match hooks with Some h -> h | None -> Vm.Machine.no_hooks () in
   { k_fs = fs; k_net = net; k_monitor = monitor; k_hooks = hooks;
+    k_pool = mem_pool;
     k_fault = Fault.start fault; quantum;
     max_procs; procs = []; next_pid = 1; k_ticks = 0; input = user_input;
     console_buf = Buffer.create 256; clones = 0; max_live = 0;
@@ -63,6 +66,17 @@ let live_count k = List.length (List.filter Process.is_live k.procs)
 let clone_total k = k.clones
 let console k = Buffer.contents k.console_buf
 
+(* Tear-down: return every process's address space to the memory pool.
+   Only meaningful when the kernel was created with [mem_pool]; the
+   kernel (and its machines) must not be used afterwards. *)
+let recycle k =
+  match k.k_pool with
+  | None -> ()
+  | Some pool ->
+    List.iter
+      (fun (p : Process.t) -> Vm.Machine.recycle_mem pool p.machine)
+      k.procs
+
 (* ------------------------------------------------------------------ *)
 (* Loader                                                              *)
 
@@ -70,16 +84,20 @@ let console k = Buffer.contents k.console_buf
    carriers ([spawn], [do_exec]) catch this and report a clean error. *)
 exception Load_failed of string
 
-let collect_images k path =
+(* Collect the needed-closure of [path] in load order and link every
+   member (copy + patch its text against the closure's exports).
+   [image_of] abstracts where images come from: the world's file system
+   on the spawn/exec paths, or a bare program list when pre-linking. *)
+let link_with image_of path =
   let rec collect loaded path =
     if List.exists (fun (i : Binary.Image.t) -> String.equal i.path path)
          loaded
     then loaded
     else
-      match Fs.image_of k.k_fs path with
+      match image_of path with
       | None ->
         raise (Load_failed (Fmt.str "loader: %s: not an executable image" path))
-      | Some img ->
+      | Some (img : Binary.Image.t) ->
         let loaded = List.fold_left collect loaded img.needed in
         loaded @ [ img ]
   in
@@ -90,6 +108,20 @@ let collect_images k path =
       images
   in
   List.map (fun i -> Binary.Image.link i ~resolve) images
+
+let collect_images k path = link_with (Fs.image_of k.k_fs) path
+
+(* Linking is deterministic and linked images are immutable, so the
+   result can be cached and shared across sequential sessions that
+   spawn the same program set (see [spawn]'s [images] argument). *)
+let link_closure available path =
+  let image_of p =
+    List.find_opt (fun (i : Binary.Image.t) -> String.equal i.path p)
+      available
+  in
+  match link_with image_of path with
+  | exception Load_failed msg -> Error msg
+  | images -> Ok images
 
 (* The initial stack: NUL-terminated argv/env strings at the top, then
    the vector [argc argv0 .. argvN 0 env0 .. envM 0] that esp points
@@ -112,9 +144,11 @@ let setup_stack m ~argv ~env =
   List.iteri (fun i w -> write_word m (!pos + (4 * i)) w) vector;
   set_reg m ESP !pos
 
-let fresh_machine k path ~argv ~env =
-  let images = collect_images k path in
-  let m = Vm.Machine.create ~hooks:k.k_hooks () in
+let fresh_machine ?images k path ~argv ~env =
+  let images =
+    match images with Some l -> l | None -> collect_images k path
+  in
+  let m = Vm.Machine.create ~hooks:k.k_hooks ?pool:k.k_pool () in
   List.iter (Vm.Machine.map_image m) images;
   setup_stack m ~argv ~env;
   let entry =
@@ -132,8 +166,8 @@ let fresh_machine k path ~argv ~env =
   Vm.Machine.set_eip m entry;
   m, images
 
-let spawn ?(env = []) k ~path ~argv =
-  match fresh_machine k path ~argv ~env with
+let spawn ?(env = []) ?images k ~path ~argv =
+  match fresh_machine ?images k path ~argv ~env with
   | exception Load_failed msg -> Error msg
   | machine, images ->
     let p =
@@ -265,7 +299,7 @@ type exec_result =
 let do_fork k (p : Process.t) =
   if live_count k >= k.max_procs then Done (-Abi.eagain)
   else begin
-    let child_machine = Vm.Machine.clone p.machine in
+    let child_machine = Vm.Machine.clone ?pool:k.k_pool p.machine in
     Vm.Machine.set_reg child_machine EAX 0;
     let child =
       Process.create ~pid:k.next_pid ~machine:child_machine

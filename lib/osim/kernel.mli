@@ -39,7 +39,8 @@ val stack_top : int
     with EAGAIN, taming fork bombs); [fault] injects deterministic
     syscall faults (default {!Fault.none}) — every injection is counted
     under [osim.faults.injected.<kind>] and emitted as an [Obs.Trace]
-    "fault" event. *)
+    "fault" event; [mem_pool] recycles guest address-space buffers
+    across sequential worlds (see {!recycle}). *)
 val create :
   ?quantum:int ->
   ?max_procs:int ->
@@ -47,10 +48,16 @@ val create :
   ?hooks:Vm.Machine.hooks ->
   ?user_input:string list ->
   ?fault:Fault.plan ->
+  ?mem_pool:Vm.Machine.mem_pool ->
   fs:Fs.t ->
   net:Net.t ->
   unit ->
   t
+
+(** [recycle k] returns every process's address space to the memory
+    pool the kernel was created with (a no-op without one).  Call after
+    the final {!run}; the kernel must not be used afterwards. *)
+val recycle : t -> unit
 
 val fs : t -> Fs.t
 
@@ -77,10 +84,22 @@ val console : t -> string
 (** [spawn k ~path ~argv] loads the executable at [path] (plus needed
     shared objects), sets up the initial stack (argv and [env] strings,
     all tagged USER_INPUT by the monitor) and schedules the new
-    process. *)
+    process.  [images] supplies the pre-linked image closure for [path]
+    (see {!link_closure}), skipping the per-spawn link entirely; it must
+    be what [link_closure] over the world's installed programs returns
+    for [path]. *)
 val spawn :
-  ?env:string list -> t -> path:string -> argv:string list ->
-  (Process.t, string) result
+  ?env:string list -> ?images:Binary.Image.t list -> t -> path:string ->
+  argv:string list -> (Process.t, string) result
+
+(** [link_closure available path] resolves [path]'s needed-closure out
+    of [available] and links every member, exactly as spawning [path]
+    in a world whose programs are [available] would.  Linked images are
+    immutable and linking is deterministic, so the result can be cached
+    and passed to {!spawn} by engines that run many sessions over the
+    same program set. *)
+val link_closure :
+  Binary.Image.t list -> string -> (Binary.Image.t list, string) result
 
 type report = {
   rep_ticks : int;

@@ -192,7 +192,9 @@ let text =
 
 open Expert
 
-let install engine (ctx : Context.t) =
+let compile () = Clips.compile_forms (Clips.parse text)
+
+let install_forms engine (ctx : Context.t) forms =
   Clips.install_builtins engine;
   let th = ctx.thresholds in
   Engine.set_global engine "CLONE_RATE" (Value.Int th.clone_rate_medium);
@@ -231,4 +233,6 @@ let install engine (ctx : Context.t) =
            (String.concat "" (List.map Value.text parts)));
       Value.sym_true
     | _ -> failwith "warn expects (rule severity pid time rare parts...)");
-  Clips.load engine text
+  Clips.install_compiled engine forms
+
+let install engine ctx = install_forms engine ctx (compile ())

@@ -23,3 +23,13 @@ val text : string
 (** [install engine ctx] registers the host functions, sets the
     threshold globals from [ctx] and loads {!text}. *)
 val install : Expert.Engine.t -> Context.t -> unit
+
+(** [compile ()] parses and compiles {!text} once — rule values are
+    built eagerly and shared across engines ({!Expert.Clips.compile_forms}).
+    @raise Expert.Clips.Error on syntax or defrule problems. *)
+val compile : unit -> Expert.Clips.installer list
+
+(** [install_forms engine ctx forms] is {!install} with the policy
+    already compiled by {!compile}. *)
+val install_forms :
+  Expert.Engine.t -> Context.t -> Expert.Clips.installer list -> unit

@@ -1,5 +1,16 @@
 type policy = Native | Clips
 
+(* A policy prepared for installation into many engines.  For [Clips]
+   this holds the parsed rule forms, so the textual policy is parsed
+   once per engine-lifetime rather than once per session; for [Native]
+   there is nothing to precompute (rule closures capture per-session
+   context and are cheap to build). *)
+type compiled = { c_policy : policy; c_forms : Expert.Clips.installer list }
+
+let compile = function
+  | Native -> { c_policy = Native; c_forms = [] }
+  | Clips -> { c_policy = Clips; c_forms = Policy_clips.compile () }
+
 type t = {
   engine : Expert.Engine.t;
   trust : Trust.t;
@@ -20,14 +31,15 @@ let c_warnings = Obs.Counter.make "secpert.warnings"
 let c_dropped = Obs.Counter.make "secpert.warnings.dropped"
 let c_wm_trip = Obs.Counter.make "secpert.wm_budget.tripped"
 
-let create ?(trust = Trust.default)
+let create_from ?(trust = Trust.default)
     ?(thresholds = Context.default_thresholds) ?auto_kill ?warning_cap
-    ?wm_budget ?(policy = Native) () =
+    ?wm_budget ~compiled () =
   let engine = Expert.Engine.create () in
   Facts.deftemplates engine;
   let cap = function Some n -> max 0 n | None -> max_int in
   let t =
-    { engine; trust; policy; auto_kill; warning_cap = cap warning_cap;
+    { engine; trust; policy = compiled.c_policy; auto_kill;
+      warning_cap = cap warning_cap;
       wm_budget = cap wm_budget; warnings = []; fresh = []; count = 0;
       max_sev = None; dropped = 0; wm_peak = 0; wm_tripped = false }
   in
@@ -82,13 +94,18 @@ let create ?(trust = Trust.default)
                @ [ "message", Obs.Str w.Warning.message ])
           end) }
   in
-  (match policy with
+  (match compiled.c_policy with
    | Native ->
      Policy_exec.register engine ctx;
      Policy_resource.register engine ctx;
      Policy_flow.register engine ctx
-   | Clips -> Policy_clips.install engine ctx);
+   | Clips -> Policy_clips.install_forms engine ctx compiled.c_forms);
   t
+
+let create ?trust ?thresholds ?auto_kill ?warning_cap ?wm_budget
+    ?(policy = Native) () =
+  create_from ?trust ?thresholds ?auto_kill ?warning_cap ?wm_budget
+    ~compiled:(compile policy) ()
 
 let trust t = t.trust
 
@@ -115,7 +132,8 @@ let handle_event t event =
            t.fresh -> Osim.Kernel.Kill
   | Some _ | None -> Osim.Kernel.Allow
 
-let attach t monitor = Harrier.Monitor.set_sink monitor (handle_event t)
+let attach t monitor =
+  Harrier.Monitor.subscribe monitor ~name:"secpert" (handle_event t)
 
 let warnings t = List.rev t.warnings
 

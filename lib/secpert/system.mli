@@ -15,6 +15,14 @@ type t
     corpus. *)
 type policy = Native | Clips
 
+(** A policy prepared once for installation into many engines: for
+    [Clips] the parsed rule forms (the expensive part of [create]); for
+    [Native] a trivial marker.  Compile once in a long-lived engine,
+    then build per-session instances with {!create_from}. *)
+type compiled
+
+val compile : policy -> compiled
+
 (** [create ()] builds a Secpert instance.
     [auto_kill] makes Secpert answer [Kill] for events that produced a
     warning at or above the given severity — standing in for the paper's
@@ -35,6 +43,19 @@ val create :
   unit ->
   t
 
+(** [create_from ~compiled ()] is {!create} with a pre-compiled policy
+    (see {!compile}); [create ?policy] is
+    [create_from ~compiled:(compile policy)]. *)
+val create_from :
+  ?trust:Trust.t ->
+  ?thresholds:Context.thresholds ->
+  ?auto_kill:Severity.t ->
+  ?warning_cap:int ->
+  ?wm_budget:int ->
+  compiled:compiled ->
+  unit ->
+  t
+
 val trust : t -> Trust.t
 
 val engine : t -> Expert.Engine.t
@@ -43,8 +64,10 @@ val engine : t -> Expert.Engine.t
     the triggering system call may proceed. *)
 val handle_event : t -> Harrier.Events.t -> Osim.Kernel.decision
 
-(** [attach t monitor] routes the monitor's events through
-    [handle_event]. *)
+(** [attach t monitor] subscribes [handle_event] to the monitor's event
+    pipeline (sink name ["secpert"]).  Register trace/metrics sinks
+    before attaching so policy "rule"/"warning" trace lines follow the
+    event's own "flow" line. *)
 val attach : t -> Harrier.Monitor.t -> unit
 
 (** [warnings t] is every warning so far, oldest first. *)

@@ -35,12 +35,15 @@ let kind_type_name = function
 (* Severity-ordered: a name that arrived over a socket is the strongest
    signal of remote direction, then hard-coded names, then file contents. *)
 let classify_all ~trusted tag =
-  let tag = Tagset.filter (fun s -> not (trusted s)) tag in
-  let sockets = List.map (fun s -> From_socket s) (Tagset.sockets tag) in
-  let binaries = List.map (fun b -> Hardcoded b) (Tagset.binaries tag) in
-  let files = List.map (fun f -> From_file f) (Tagset.files tag) in
-  let hw = if Tagset.has_hardware tag then [ From_hardware ] else [] in
-  let user = if Tagset.has_user_input tag then [ From_user ] else [] in
+  (* Works on the element list directly (no filtered tag set is built),
+     so classification needs no hash-consing space in hand. *)
+  let srcs = List.filter (fun s -> not (trusted s)) (Tagset.to_list tag) in
+  let sel f = List.filter_map f srcs in
+  let sockets = sel (function Source.Socket s -> Some (From_socket s) | _ -> None) in
+  let binaries = sel (function Source.Binary b -> Some (Hardcoded b) | _ -> None) in
+  let files = sel (function Source.File f -> Some (From_file f) | _ -> None) in
+  let hw = if List.mem Source.Hardware srcs then [ From_hardware ] else [] in
+  let user = if List.mem Source.User_input srcs then [ From_user ] else [] in
   sockets @ binaries @ files @ hw @ user
 
 let classify ~trusted tag =

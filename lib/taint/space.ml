@@ -1,0 +1,5 @@
+type t = Tagset.space
+
+let create () = Tagset.make_space ()
+let interned = Tagset.interned_count
+let reset = Tagset.reset_space

@@ -7,11 +7,15 @@
    makes the union-per-instruction performed by [Harrier.Dataflow.step]
    allocation-free on the (overwhelmingly common) repeated-operand case.
 
-   The intern and memo tables are global and grow with the number of
-   distinct sets observed; taint lattices in practice are tiny (a
-   handful of sources per process), so this is the classic BDD-style
-   trade: unbounded-but-small tables for O(1) equality and cached
-   unions. *)
+   The intern and memo tables live in an explicit [space] rather than in
+   process globals: a session that wants byte-reproducible statistics
+   creates a fresh space, while a corpus run that wants maximum cache
+   warmth can share one space across sessions.  The only process-global
+   value is the canonical [empty] node (id 0), which is immutable and
+   pre-seeded into every space, so [is_empty]/[equal] stay pointer
+   checks and [empty] needs no space in hand.  Tag sets from different
+   spaces must not be mixed in one computation: contents stay correct,
+   but pointer equality only holds within a space. *)
 
 module S = Set.Make (Source)
 
@@ -28,30 +32,73 @@ end
 
 module Intern = Hashtbl.Make (Key)
 
-let intern_tbl : t Intern.t = Intern.create 509
-let next_id = ref 0
+(* Binary-union memo: a direct-mapped cache keyed on the (ordered) id
+   pair packed into one int, so a hit is an array read plus an integer
+   compare — no hashing, no allocation.  Ids are dense and small, so
+   the packing is injective in practice; collisions just overwrite the
+   slot and recompute later. *)
+let memo_bits = 14
+let memo_mask = (1 lsl memo_bits) - 1
+
+type space = {
+  intern_tbl : t Intern.t;
+  mutable next_id : int;
+  singleton_tbl : (Source.t, t) Hashtbl.t;
+  memo_keys : int array;
+  memo_vals : t array;
+}
+
+(* The canonical empty node, shared by every space.  Immutable; id 0 is
+   reserved for it (spaces allocate ids from 1). *)
+let empty = { id = 0; set = S.empty }
 
 let c_intern_hits = Obs.Counter.make "taint.intern.hits"
 let c_intern_misses = Obs.Counter.make "taint.intern.misses"
 let c_memo_hits = Obs.Counter.make "taint.union_memo.hits"
 let c_memo_misses = Obs.Counter.make "taint.union_memo.misses"
 
-let intern set =
+let make_space () =
+  let sp =
+    { intern_tbl = Intern.create 509;
+      next_id = 1;
+      singleton_tbl = Hashtbl.create 64;
+      memo_keys = Array.make (1 lsl memo_bits) (-1);
+      memo_vals = Array.make (1 lsl memo_bits) empty }
+  in
+  Intern.add sp.intern_tbl [] empty;
+  sp
+
+(* Return a space to the freshly-created state.  Only [memo_keys] needs
+   refilling: a packed id pair is never [-1], so clearing the keys makes
+   every stale [memo_vals] entry unreachable without touching the boxed
+   array (new unions overwrite slots as they miss).  A reset space is
+   indistinguishable from [make_space ()] — same interning decisions,
+   same cache counters — which lets an engine pool spaces across
+   sessions without perturbing per-run statistics. *)
+let reset_space sp =
+  Intern.reset sp.intern_tbl;
+  Hashtbl.reset sp.singleton_tbl;
+  sp.next_id <- 1;
+  Array.fill sp.memo_keys 0 (Array.length sp.memo_keys) (-1);
+  (* also drop the stale values: a pooled space must not keep the
+     previous session's tag sets (and their element sets) alive *)
+  Array.fill sp.memo_vals 0 (Array.length sp.memo_vals) empty;
+  Intern.add sp.intern_tbl [] empty
+
+let intern sp set =
   let key = S.elements set in
-  match Intern.find_opt intern_tbl key with
+  match Intern.find_opt sp.intern_tbl key with
   | Some t ->
     Obs.Counter.incr c_intern_hits;
     t
   | None ->
     Obs.Counter.incr c_intern_misses;
-    let t = { id = !next_id; set } in
-    incr next_id;
-    Intern.add intern_tbl key t;
+    let t = { id = sp.next_id; set } in
+    sp.next_id <- sp.next_id + 1;
+    Intern.add sp.intern_tbl key t;
     t
 
-let interned_count () = !next_id
-
-let empty = intern S.empty
+let interned_count sp = sp.next_id
 
 let[@inline] is_empty t = t == empty
 
@@ -62,35 +109,21 @@ let[@inline] equal a b = a == b
 
 let[@inline] compare a b = Int.compare a.id b.id
 
-let singleton_tbl : (Source.t, t) Hashtbl.t = Hashtbl.create 64
-
-let singleton s =
-  match Hashtbl.find_opt singleton_tbl s with
+let singleton sp s =
+  match Hashtbl.find_opt sp.singleton_tbl s with
   | Some t -> t
   | None ->
-    let t = intern (S.singleton s) in
-    Hashtbl.add singleton_tbl s t;
+    let t = intern sp (S.singleton s) in
+    Hashtbl.add sp.singleton_tbl s t;
     t
 
-let of_list l = intern (S.of_list l)
+let of_list sp l = intern sp (S.of_list l)
 
 let to_list t = S.elements t.set
 
-let add s t = if S.mem s t.set then t else intern (S.add s t.set)
+let add sp s t = if S.mem s t.set then t else intern sp (S.add s t.set)
 
-(* Binary-union memo: a direct-mapped cache keyed on the (ordered) id
-   pair packed into one int, so a hit is an array read plus an integer
-   compare — no hashing, no allocation.  Ids are dense and small, so
-   the packing is injective in practice; collisions just overwrite the
-   slot and recompute later.  The subset-collapse cases are handled by
-   [intern] itself (a union equal to one operand interns back to that
-   operand). *)
-let memo_bits = 14
-let memo_mask = (1 lsl memo_bits) - 1
-let memo_keys = Array.make (1 lsl memo_bits) (-1)
-let memo_vals = Array.make (1 lsl memo_bits) empty
-
-let union a b =
+let union sp a b =
   if a == b then a
   else if a == empty then b
   else if b == empty then a
@@ -100,15 +133,15 @@ let union a b =
     in
     (* low bits hold one id, bits 31+ the other; fold them together *)
     let h = (packed lxor (packed lsr 29)) land memo_mask in
-    if memo_keys.(h) = packed then begin
+    if sp.memo_keys.(h) = packed then begin
       Obs.Counter.incr c_memo_hits;
-      memo_vals.(h)
+      sp.memo_vals.(h)
     end
     else begin
       Obs.Counter.incr c_memo_misses;
-      let r = intern (S.union a.set b.set) in
-      memo_keys.(h) <- packed;
-      memo_vals.(h) <- r;
+      let r = intern sp (S.union a.set b.set) in
+      sp.memo_keys.(h) <- packed;
+      sp.memo_vals.(h) <- r;
       r
     end
   end
@@ -117,9 +150,9 @@ let mem s t = S.mem s t.set
 let cardinal t = S.cardinal t.set
 let exists p t = S.exists p t.set
 
-let filter p t =
+let filter sp p t =
   let set = S.filter p t.set in
-  if set == t.set then t else intern set
+  if set == t.set then t else intern sp set
 
 let fold f t acc = S.fold f t.set acc
 

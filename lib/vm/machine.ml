@@ -46,17 +46,59 @@ let mem_size = 0x100000
 
 exception Fault_exn of fault
 
-let create ?hooks () =
+(* Recycling pool for the 1 MiB address-space buffers.  Allocating (and
+   faulting in) a megabyte per spawn dominates small-session setup, so
+   a caller that runs many sequential worlds hands the same pool to
+   every kernel and returns the buffers when a world is torn down.  A
+   pooled buffer is zeroed (create) or fully overwritten (clone) before
+   reuse, so guest-visible behaviour is identical to fresh allocation. *)
+type mem_pool = { mutable mp_free : Bytes.t list; mp_cap : int }
+
+let mem_pool ?(cap = 16) () = { mp_free = []; mp_cap = cap }
+
+let pool_take p =
+  match p.mp_free with
+  | b :: rest ->
+    p.mp_free <- rest;
+    Some b
+  | [] -> None
+
+let fresh_mem = function
+  | None -> Bytes.make mem_size '\000'
+  | Some p ->
+    (match pool_take p with
+     | Some b ->
+       Bytes.fill b 0 mem_size '\000';
+       b
+     | None -> Bytes.make mem_size '\000')
+
+let copied_mem pool src =
+  match pool with
+  | None -> Bytes.copy src
+  | Some p ->
+    (match pool_take p with
+     | Some b ->
+       Bytes.blit src 0 b 0 mem_size;
+       b
+     | None -> Bytes.copy src)
+
+let recycle_mem p m =
+  (* membership check defends against double-recycling a machine, which
+     would hand one buffer to two future machines *)
+  if List.length p.mp_free < p.mp_cap && not (List.memq m.mem p.mp_free) then
+    p.mp_free <- m.mem :: p.mp_free
+
+let create ?hooks ?pool () =
   let h = match hooks with Some h -> h | None -> no_hooks () in
   { regs = Array.make Isa.Reg.count 0; eip = 0; zf = false; sf = false;
-    lt = false; mem = Bytes.make mem_size '\000'; segs = []; cur_seg = no_seg;
+    lt = false; mem = fresh_mem pool; segs = []; cur_seg = no_seg;
     status = Running; at_bb_start = true; h }
 
 let hooks m = m.h
 
-let clone m =
+let clone ?pool m =
   { regs = Array.copy m.regs; eip = m.eip; zf = m.zf; sf = m.sf; lt = m.lt;
-    mem = Bytes.copy m.mem; segs = m.segs; cur_seg = m.cur_seg;
+    mem = copied_mem pool m.mem; segs = m.segs; cur_seg = m.cur_seg;
     status = m.status; at_bb_start = m.at_bb_start; h = m.h }
 
 let status m = m.status

@@ -31,6 +31,18 @@ for s in "ElmExploit" "nlspath" "procex" "grabem" "vixie crontab" \
   fi
 done
 
+echo "== engine-reuse gate =="
+# One shared Hth.Engine.t runs every golden scenario twice in one
+# process: traces must be byte-identical to cold per-session runs and
+# warnings/verdicts identical (see DESIGN.md "The session engine").
+if dune exec test/test_hth.exe -- test engine >/dev/null 2>&1; then
+  echo "  ok: engine reuse (warm traces byte-identical to cold)"
+else
+  echo "  ENGINE-REUSE GATE FAILED" >&2
+  dune exec test/test_hth.exe -- test engine || true
+  status=1
+fi
+
 echo "== hth_trace smoke =="
 # Offline analysis of a committed golden: explain and profile must
 # render, self-diff must exit 0 and a cross-diff must exit 1.

@@ -3,6 +3,7 @@
    (max severity), and the same rule families firing. *)
 
 let check = Alcotest.(check bool)
+let sp = Taint.Space.create ()
 
 let sev_label = function
   | None -> "benign"
@@ -45,7 +46,7 @@ let test_clips_execve_severities () =
     Harrier.Events.Exec
       { path =
           { r_kind = Harrier.Events.R_file; r_name = "/bin/x";
-            r_origin = Taint.Tagset.of_list origin };
+            r_origin = (Taint.Tagset.of_list sp) origin };
         argv = []; meta }
   in
   check "hardcoded low" true
@@ -64,7 +65,7 @@ let test_clips_rare_escalation () =
     Harrier.Events.Exec
       { path =
           { r_kind = Harrier.Events.R_file; r_name = "/bin/x";
-            r_origin = Taint.Tagset.singleton (Taint.Source.Binary "/mal") };
+            r_origin = (Taint.Tagset.singleton sp) (Taint.Source.Binary "/mal") };
         argv = [];
         meta = { pid = 1; time = 9_000; freq = 1; addr = 0; step = 0 } }
   in
@@ -76,14 +77,14 @@ let test_clips_transfer_join () =
   let transfer =
     Harrier.Events.Transfer
       { call = "SYS_write";
-        data = Taint.Tagset.singleton (Taint.Source.File "/a");
+        data = (Taint.Tagset.singleton sp) (Taint.Source.File "/a");
         head = "";
         sources =
           [ Taint.Source.File "/a",
-            Taint.Tagset.singleton (Taint.Source.Binary "/mal") ];
+            (Taint.Tagset.singleton sp) (Taint.Source.Binary "/mal") ];
         target =
           { r_kind = Harrier.Events.R_file; r_name = "/t";
-            r_origin = Taint.Tagset.singleton (Taint.Source.Binary "/mal") };
+            r_origin = (Taint.Tagset.singleton sp) (Taint.Source.Binary "/mal") };
         via_server = None; len = 4; meta }
   in
   check "both hardcoded high" true
@@ -93,7 +94,7 @@ let test_clips_content_rule () =
   let transfer head =
     Harrier.Events.Transfer
       { call = "SYS_write";
-        data = Taint.Tagset.singleton (Taint.Source.Socket "h:1");
+        data = (Taint.Tagset.singleton sp) (Taint.Source.Socket "h:1");
         head;
         sources = [ Taint.Source.Socket "h:1", Taint.Tagset.empty ];
         target =

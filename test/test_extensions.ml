@@ -1,6 +1,7 @@
 (* Tests for the Section 10 future-work features: memory-abuse rules,
    content analysis and cross-session profiles. *)
 
+let sp = Taint.Space.create ()
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
@@ -91,7 +92,7 @@ let test_content_magics () =
       (Secpert.System.handle_event s
          (Harrier.Events.Transfer
             { call = "SYS_write";
-              data = Taint.Tagset.singleton (Taint.Source.Socket "h:1");
+              data = Taint.Tagset.singleton sp (Taint.Source.Socket "h:1");
               head;
               sources =
                 [ Taint.Source.Socket "h:1", Taint.Tagset.empty ];

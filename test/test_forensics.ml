@@ -201,16 +201,11 @@ let test_profile_matches_stats () =
     | Error e -> Alcotest.failf "pma failed: %a" Hth.Error.pp e
   in
   let p = Forensics.Profile.of_trace (reader_of_string bytes) in
-  let no_taint =
-    (* taint.* counters ride on process-global interning caches, so the
-       session never embeds them — see Session.run_outcome *)
-    List.filter
-      (fun (n, _) ->
-        not (String.length n >= 6 && String.sub n 0 6 = "taint."))
-      r.Hth.Session.stats
-  in
+  (* taint.* counters are per-session (fresh taint space per run), so
+     the trace embeds them like every other family — the offline
+     profile must reproduce the live stats exactly *)
   Alcotest.(check (list (pair string int)))
-    "embedded counters = live stats minus taint.*" no_taint p.counters;
+    "embedded counters = live stats" r.Hth.Session.stats p.counters;
   let live_syscalls =
     List.filter_map
       (fun (n, v) ->

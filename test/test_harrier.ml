@@ -5,7 +5,8 @@
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let tag_of l = Taint.Tagset.of_list l
+let sp = Taint.Space.create ()
+let tag_of l = Taint.Tagset.of_list sp l
 let user = Taint.Source.User_input
 let file_a = Taint.Source.File "/a"
 let bin_x = Taint.Source.Binary "/bin/x"
@@ -17,7 +18,7 @@ let tagset =
 (* Shadow                                                              *)
 
 let test_shadow_regs () =
-  let s = Harrier.Shadow.create () in
+  let s = Harrier.Shadow.create ~space:sp () in
   Alcotest.check tagset "initially empty" Taint.Tagset.empty
     (Harrier.Shadow.reg s EAX);
   Harrier.Shadow.set_reg s EAX (tag_of [ user ]);
@@ -27,7 +28,7 @@ let test_shadow_regs () =
     (Harrier.Shadow.reg s EBX)
 
 let test_shadow_memory () =
-  let s = Harrier.Shadow.create () in
+  let s = Harrier.Shadow.create ~space:sp () in
   Harrier.Shadow.set_byte s 100 (tag_of [ user ]);
   Harrier.Shadow.set_byte s 101 (tag_of [ file_a ]);
   Alcotest.check tagset "range unions" (tag_of [ user; file_a ])
@@ -36,7 +37,7 @@ let test_shadow_memory () =
   check_int "empty tags are not stored" 0 (Harrier.Shadow.tagged_bytes s)
 
 let test_shadow_clone () =
-  let s = Harrier.Shadow.create () in
+  let s = Harrier.Shadow.create ~space:sp () in
   Harrier.Shadow.set_byte s 5 (tag_of [ user ]);
   let c = Harrier.Shadow.clone s in
   Harrier.Shadow.set_byte c 5 (tag_of [ bin_x ]);
@@ -63,21 +64,21 @@ let imm_tag = tag_of [ bin_x ]
 let step_df s m insn = Harrier.Dataflow.step s m ~imm_tag insn
 
 let test_df_mov_reg () =
-  let m = machine_with [] and s = Harrier.Shadow.create () in
+  let m = machine_with [] and s = Harrier.Shadow.create ~space:sp () in
   Harrier.Shadow.set_reg s EBX (tag_of [ user ]);
   step_df s m (Mov (W, Reg EAX, Reg EBX));
   Alcotest.check tagset "reg copy replaces" (tag_of [ user ])
     (Harrier.Shadow.reg s EAX)
 
 let test_df_mov_imm () =
-  let m = machine_with [] and s = Harrier.Shadow.create () in
+  let m = machine_with [] and s = Harrier.Shadow.create ~space:sp () in
   Harrier.Shadow.set_reg s EAX (tag_of [ user ]);
   step_df s m (Mov (W, Reg EAX, Imm 4));
   Alcotest.check tagset "immediate brings BINARY and clears old" imm_tag
     (Harrier.Shadow.reg s EAX)
 
 let test_df_mov_memory () =
-  let m = machine_with [] and s = Harrier.Shadow.create () in
+  let m = machine_with [] and s = Harrier.Shadow.create ~space:sp () in
   Harrier.Shadow.set_byte s 0x2001 (tag_of [ user ]);
   Harrier.Shadow.set_byte s 0x2003 (tag_of [ file_a ]);
   step_df s m (Mov (W, Reg EAX, Isa.Operand.abs 0x2000));
@@ -90,7 +91,7 @@ let test_df_mov_memory () =
     (Harrier.Shadow.byte s 0x3003)
 
 let test_df_mov_byte () =
-  let m = machine_with [] and s = Harrier.Shadow.create () in
+  let m = machine_with [] and s = Harrier.Shadow.create ~space:sp () in
   Harrier.Shadow.set_byte s 0x2000 (tag_of [ user ]);
   step_df s m (Mov (B, Isa.Operand.abs 0x3000, Isa.Operand.abs 0x2000));
   Alcotest.check tagset "byte copy" (tag_of [ user ])
@@ -100,7 +101,7 @@ let test_df_mov_byte () =
 
 let test_df_alu_union () =
   (* the paper's example: add %ebx,%eax unions both sets *)
-  let m = machine_with [] and s = Harrier.Shadow.create () in
+  let m = machine_with [] and s = Harrier.Shadow.create ~space:sp () in
   Harrier.Shadow.set_reg s EAX (tag_of [ user ]);
   Harrier.Shadow.set_reg s EBX (tag_of [ file_a ]);
   step_df s m (Add (Reg EAX, Reg EBX));
@@ -110,7 +111,7 @@ let test_df_alu_union () =
     (Harrier.Shadow.reg s EBX)
 
 let test_df_cpuid () =
-  let m = machine_with [] and s = Harrier.Shadow.create () in
+  let m = machine_with [] and s = Harrier.Shadow.create ~space:sp () in
   step_df s m Isa.Insn.Cpuid;
   List.iter
     (fun r ->
@@ -120,7 +121,7 @@ let test_df_cpuid () =
     [ Isa.Reg.EAX; Isa.Reg.EBX; Isa.Reg.ECX; Isa.Reg.EDX ]
 
 let test_df_push_pop () =
-  let m = machine_with [] and s = Harrier.Shadow.create () in
+  let m = machine_with [] and s = Harrier.Shadow.create ~space:sp () in
   Harrier.Shadow.set_reg s EAX (tag_of [ user ]);
   (* push: the slot below esp gets eax's tag *)
   step_df s m (Push (Reg EAX));
@@ -133,14 +134,14 @@ let test_df_push_pop () =
     (Harrier.Shadow.reg s EBX)
 
 let test_df_cmp_propagates_nothing () =
-  let m = machine_with [] and s = Harrier.Shadow.create () in
+  let m = machine_with [] and s = Harrier.Shadow.create ~space:sp () in
   Harrier.Shadow.set_reg s EAX (tag_of [ user ]);
   step_df s m (Cmp (W, Reg EBX, Reg EAX));
   Alcotest.check tagset "cmp leaves dst alone" Taint.Tagset.empty
     (Harrier.Shadow.reg s EBX)
 
 let test_df_call_clears_ret_slot () =
-  let m = machine_with [] and s = Harrier.Shadow.create () in
+  let m = machine_with [] and s = Harrier.Shadow.create ~space:sp () in
   Harrier.Shadow.set_range s (0xF000 - 4) 4 (tag_of [ user ]);
   step_df s m (Call (Imm 0x200));
   Alcotest.check tagset "return address untainted" Taint.Tagset.empty
@@ -241,7 +242,7 @@ let test_shortcircuit_frames () =
   in
   let t = Harrier.Shortcircuit.create [ spec ] in
   let m = machine_with [] in
-  let s = Harrier.Shadow.create () in
+  let s = Harrier.Shadow.create ~space:sp () in
   (* simulate: Call at esp=0xF000 *)
   Vm.Machine.set_reg m ESP 0xF000;
   Harrier.Shortcircuit.on_call t ~routine:"resolve" m s ~ret_addr:0x123;
@@ -261,7 +262,7 @@ let test_shortcircuit_inner_ret_ignored () =
   in
   let t = Harrier.Shortcircuit.create [ spec ] in
   let m = machine_with [] in
-  let s = Harrier.Shadow.create () in
+  let s = Harrier.Shadow.create ~space:sp () in
   Vm.Machine.set_reg m ESP 0xF000;
   Harrier.Shortcircuit.on_call t ~routine:"r" m s ~ret_addr:0x123;
   (* a nested call's ret: deeper stack, different return address *)
@@ -272,7 +273,7 @@ let test_shortcircuit_inner_ret_ignored () =
 let test_shortcircuit_unknown_routine () =
   let t = Harrier.Shortcircuit.create [] in
   let m = machine_with [] in
-  let s = Harrier.Shadow.create () in
+  let s = Harrier.Shadow.create ~space:sp () in
   Harrier.Shortcircuit.on_call t ~routine:"anything" m s ~ret_addr:1;
   Harrier.Shortcircuit.on_ret t m s  (* no frames: no-op *)
 

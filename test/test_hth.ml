@@ -23,6 +23,7 @@ let () =
       "secpert", Test_secpert.suite;
       "properties", Test_props.suite;
       "session", Test_session.suite;
+      "engine", Test_engine.suite;
       "extensions", Test_extensions.suite;
       "clips-policy", Test_clips_policy.suite;
       "trace", Test_trace.suite;

@@ -4,6 +4,7 @@
    interpreter, the filesystem, and engine refraction. *)
 
 open QCheck
+let sp = Taint.Space.create ()
 
 (* ------------------------------------------------------------------ *)
 (* Generators                                                          *)
@@ -20,7 +21,7 @@ let source_gen =
 
 let source = make ~print:Taint.Source.to_string source_gen
 
-let tagset_gen = Gen.map Taint.Tagset.of_list (Gen.list_size (Gen.int_bound 6) source_gen)
+let tagset_gen = Gen.map (Taint.Tagset.of_list sp) (Gen.list_size (Gen.int_bound 6) source_gen)
 
 let tagset = make ~print:Taint.Tagset.to_string tagset_gen
 
@@ -46,30 +47,30 @@ let value = make ~print:Expert.Value.to_string value_gen
 let prop_union_commutes =
   Test.make ~name:"tagset union commutes" ~count:200 (pair tagset tagset)
     (fun (a, b) ->
-      Taint.Tagset.equal (Taint.Tagset.union a b) (Taint.Tagset.union b a))
+      Taint.Tagset.equal ((Taint.Tagset.union sp) a b) ((Taint.Tagset.union sp) b a))
 
 let prop_union_assoc =
   Test.make ~name:"tagset union associates" ~count:200
     (triple tagset tagset tagset) (fun (a, b, c) ->
       Taint.Tagset.equal
-        (Taint.Tagset.union a (Taint.Tagset.union b c))
-        (Taint.Tagset.union (Taint.Tagset.union a b) c))
+        ((Taint.Tagset.union sp) a ((Taint.Tagset.union sp) b c))
+        ((Taint.Tagset.union sp) ((Taint.Tagset.union sp) a b) c))
 
 let prop_union_idempotent =
   Test.make ~name:"tagset union idempotent" ~count:200 tagset (fun a ->
-      Taint.Tagset.equal a (Taint.Tagset.union a a))
+      Taint.Tagset.equal a ((Taint.Tagset.union sp) a a))
 
 let prop_union_monotone =
   Test.make ~name:"union preserves membership" ~count:200
     (pair tagset tagset) (fun (a, b) ->
       Taint.Tagset.fold
-        (fun s acc -> acc && Taint.Tagset.mem s (Taint.Tagset.union a b))
+        (fun s acc -> acc && Taint.Tagset.mem s ((Taint.Tagset.union sp) a b))
         a true)
 
 let prop_of_list_set_semantics =
   Test.make ~name:"of_list deduplicates" ~count:200
     (list_of_size (Gen.int_bound 8) source) (fun l ->
-      let t = Taint.Tagset.of_list l in
+      let t = (Taint.Tagset.of_list sp) l in
       Taint.Tagset.cardinal t
       = List.length (List.sort_uniq Taint.Source.compare l))
 
@@ -88,8 +89,8 @@ let prop_interned_union_model =
     (pair (list_of_size (Gen.int_bound 8) source)
        (list_of_size (Gen.int_bound 8) source))
     (fun (l1, l2) ->
-      let t = Taint.Tagset.union (Taint.Tagset.of_list l1)
-                (Taint.Tagset.of_list l2) in
+      let t = (Taint.Tagset.union sp) ((Taint.Tagset.of_list sp) l1)
+                ((Taint.Tagset.of_list sp) l2) in
       let model = Ref_set.union (Ref_set.of_list l1) (Ref_set.of_list l2) in
       same_as_model t model)
 
@@ -97,7 +98,7 @@ let prop_interned_add_mem_model =
   Test.make ~name:"interned add/mem match reference set" ~count:300
     (pair source (list_of_size (Gen.int_bound 8) source))
     (fun (s, l) ->
-      let t = Taint.Tagset.add s (Taint.Tagset.of_list l) in
+      let t = (Taint.Tagset.add sp) s ((Taint.Tagset.of_list sp) l) in
       let model = Ref_set.add s (Ref_set.of_list l) in
       same_as_model t model
       && Taint.Tagset.mem s t
@@ -111,7 +112,7 @@ let prop_interned_equal_is_extensional =
     (pair (list_of_size (Gen.int_bound 8) source)
        (list_of_size (Gen.int_bound 8) source))
     (fun (l1, l2) ->
-      let a = Taint.Tagset.of_list l1 and b = Taint.Tagset.of_list l2 in
+      let a = (Taint.Tagset.of_list sp) l1 and b = (Taint.Tagset.of_list sp) l2 in
       let extensional = Ref_set.equal (Ref_set.of_list l1) (Ref_set.of_list l2) in
       Taint.Tagset.equal a b = extensional
       && (Taint.Tagset.compare a b = 0) = extensional
@@ -123,7 +124,7 @@ let prop_interned_filter_model =
     (fun l ->
       let keep s = Taint.Source.resource_name s <> None in
       same_as_model
-        (Taint.Tagset.filter keep (Taint.Tagset.of_list l))
+        ((Taint.Tagset.filter sp) keep ((Taint.Tagset.of_list sp) l))
         (Ref_set.filter keep (Ref_set.of_list l)))
 
 (* ------------------------------------------------------------------ *)
@@ -283,11 +284,11 @@ let prop_shadow_range_union =
   Test.make ~name:"shadow range is the union of its bytes" ~count:100
     (list_of_size (Gen.int_bound 6) (pair (int_bound 16) tagset))
     (fun writes ->
-      let s = Harrier.Shadow.create () in
+      let s = Harrier.Shadow.create ~space:sp () in
       List.iter (fun (a, t) -> Harrier.Shadow.set_byte s a t) writes;
       let expected =
         List.fold_left
-          (fun acc a -> Taint.Tagset.union acc (Harrier.Shadow.byte s a))
+          (fun acc a -> (Taint.Tagset.union sp) acc (Harrier.Shadow.byte s a))
           Taint.Tagset.empty
           (List.init 17 Fun.id)
       in
@@ -334,7 +335,7 @@ let model_byte model a =
 let model_range model a len =
   let acc = ref Taint.Tagset.empty in
   for i = a to a + len - 1 do
-    acc := Taint.Tagset.union !acc (model_byte model i)
+    acc := (Taint.Tagset.union sp) !acc (model_byte model i)
   done;
   !acc
 
@@ -342,7 +343,7 @@ let prop_shadow_matches_byte_map =
   Test.make ~name:"paged shadow agrees with a byte-map model" ~count:300
     shadow_ops
     (fun ops ->
-      let s = Harrier.Shadow.create () in
+      let s = Harrier.Shadow.create ~space:sp () in
       let model = Hashtbl.create 64 in
       List.iter
         (fun op ->
@@ -368,7 +369,7 @@ let prop_shadow_clone_independent =
   Test.make ~name:"shadow clone is a deep copy" ~count:100
     (pair shadow_ops shadow_ops)
     (fun (ops, after) ->
-      let s = Harrier.Shadow.create () in
+      let s = Harrier.Shadow.create ~space:sp () in
       List.iter
         (function
           | Sset_byte (a, t) -> Harrier.Shadow.set_byte s a t
@@ -439,7 +440,7 @@ let treg_gen = Gen.oneofl [ Isa.Reg.EAX; Isa.Reg.EBX; Isa.Reg.ECX;
 let tstep_gen =
   Gen.(triple (oneofl [ Tmov_rr; Tmov_ri; Talu ]) treg_gen treg_gen)
 
-let imm_tag = Taint.Tagset.singleton (Taint.Source.Binary "/img")
+let imm_tag = (Taint.Tagset.singleton sp) (Taint.Source.Binary "/img")
 
 let reference_taint tags (op, dst, src) =
   let get r = List.assoc (Isa.Reg.index r) tags in
@@ -450,7 +451,7 @@ let reference_taint tags (op, dst, src) =
   match op with
   | Tmov_rr -> set dst (get src)
   | Tmov_ri -> set dst imm_tag
-  | Talu -> set dst (Taint.Tagset.union (get dst) (get src))
+  | Talu -> set dst ((Taint.Tagset.union sp) (get dst) (get src))
 
 let insn_of_tstep (op, dst, src) : Isa.Insn.t =
   match op with
@@ -478,7 +479,7 @@ let prop_dataflow_matches_reference =
         take 4 init
       in
       let m = Vm.Machine.create () in
-      let shadow = Harrier.Shadow.create () in
+      let shadow = Harrier.Shadow.create ~space:sp () in
       List.iteri
         (fun i t -> Harrier.Shadow.set_reg shadow (Isa.Reg.of_index i) t)
         init;

@@ -7,7 +7,8 @@ let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_str = Alcotest.(check string)
 
-let tag_of l = Taint.Tagset.of_list l
+let sp = Taint.Space.create ()
+let tag_of l = Taint.Tagset.of_list sp l
 let user = Taint.Source.User_input
 let bin_mal = Taint.Source.Binary "/mal"
 let bin_libc = Taint.Source.Binary "/lib/libc.so"

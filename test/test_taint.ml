@@ -16,6 +16,9 @@ let src_hw = Source.Hardware
 
 let no_trust (_ : Source.t) = false
 
+(* one shared arena for every tag set this file builds *)
+let sp = Space.create ()
+
 let test_source_equal () =
   check "same file equal" true (Source.equal (File "/a") (File "/a"));
   check "different file" false (Source.equal (File "/a") (File "/b"));
@@ -47,23 +50,23 @@ let test_source_pp () =
 let test_tagset_basics () =
   check "empty is empty" true (Tagset.is_empty Tagset.empty);
   check "singleton not empty" false
-    (Tagset.is_empty (Tagset.singleton src_user));
+    (Tagset.is_empty (Tagset.singleton sp src_user));
   check_int "cardinal of dup list" 2
-    (Tagset.cardinal (Tagset.of_list [ src_user; src_file; src_user ]));
+    (Tagset.cardinal (Tagset.of_list sp [ src_user; src_file; src_user ]));
   check "mem present" true (Tagset.mem src_file
-                              (Tagset.of_list [ src_user; src_file ]));
-  check "mem absent" false (Tagset.mem src_hw (Tagset.singleton src_user))
+                              (Tagset.of_list sp [ src_user; src_file ]));
+  check "mem absent" false (Tagset.mem src_hw (Tagset.singleton sp src_user))
 
 let test_tagset_union () =
-  let a = Tagset.of_list [ src_user; src_file ] in
-  let b = Tagset.of_list [ src_file; src_bin ] in
-  let u = Tagset.union a b in
+  let a = Tagset.of_list sp [ src_user; src_file ] in
+  let b = Tagset.of_list sp [ src_file; src_bin ] in
+  let u = Tagset.union sp a b in
   check_int "union cardinal" 3 (Tagset.cardinal u);
-  check "union commutes" true (Tagset.equal u (Tagset.union b a));
-  check "union idempotent" true (Tagset.equal a (Tagset.union a a))
+  check "union commutes" true (Tagset.equal u (Tagset.union sp b a));
+  check "union idempotent" true (Tagset.equal a (Tagset.union sp a a))
 
 let test_tagset_selectors () =
-  let t = Tagset.of_list [ src_user; src_file; src_sock; src_bin; src_hw ] in
+  let t = Tagset.of_list sp [ src_user; src_file; src_sock; src_bin; src_hw ] in
   Alcotest.(check (list string)) "binaries" [ "/bin/x" ] (Tagset.binaries t);
   Alcotest.(check (list string)) "files" [ "/data/a" ] (Tagset.files t);
   Alcotest.(check (list string)) "sockets" [ "evil:80" ] (Tagset.sockets t);
@@ -72,9 +75,9 @@ let test_tagset_selectors () =
   check "no hardware in empty" false (Tagset.has_hardware Tagset.empty)
 
 let test_tagset_filter_fold () =
-  let t = Tagset.of_list [ src_user; src_file; src_bin ] in
+  let t = Tagset.of_list sp [ src_user; src_file; src_bin ] in
   let only_named =
-    Tagset.filter (fun s -> Source.resource_name s <> None) t
+    Tagset.filter sp (fun s -> Source.resource_name s <> None) t
   in
   check_int "filter keeps named" 2 (Tagset.cardinal only_named);
   check_int "fold counts" 3 (Tagset.fold (fun _ n -> n + 1) t 0);
@@ -88,34 +91,34 @@ let test_origin_empty () =
     (Origin.classify ~trusted:no_trust Tagset.empty)
 
 let test_origin_dominance () =
-  let all = Tagset.of_list [ src_user; src_file; src_sock; src_bin; src_hw ] in
+  let all = Tagset.of_list sp [ src_user; src_file; src_sock; src_bin; src_hw ] in
   Alcotest.check kind "socket dominates" (Origin.From_socket "evil:80")
     (Origin.classify ~trusted:no_trust all);
-  let no_sock = Tagset.of_list [ src_user; src_file; src_bin; src_hw ] in
+  let no_sock = Tagset.of_list sp [ src_user; src_file; src_bin; src_hw ] in
   Alcotest.check kind "binary next" (Origin.Hardcoded "/bin/x")
     (Origin.classify ~trusted:no_trust no_sock);
-  let no_bin = Tagset.of_list [ src_user; src_file; src_hw ] in
+  let no_bin = Tagset.of_list sp [ src_user; src_file; src_hw ] in
   Alcotest.check kind "file next" (Origin.From_file "/data/a")
     (Origin.classify ~trusted:no_trust no_bin);
-  let hw_user = Tagset.of_list [ src_user; src_hw ] in
+  let hw_user = Tagset.of_list sp [ src_user; src_hw ] in
   Alcotest.check kind "hardware before user" Origin.From_hardware
     (Origin.classify ~trusted:no_trust hw_user);
   Alcotest.check kind "user last" Origin.From_user
-    (Origin.classify ~trusted:no_trust (Tagset.singleton src_user))
+    (Origin.classify ~trusted:no_trust (Tagset.singleton sp src_user))
 
 let test_origin_trust_filter () =
   let trusted = function
     | Source.Binary b -> String.equal b "/lib/libc.so"
     | _ -> false
   in
-  let t = Tagset.of_list [ src_libc; src_user ] in
+  let t = Tagset.of_list sp [ src_libc; src_user ] in
   Alcotest.check kind "trusted binary filtered" Origin.From_user
     (Origin.classify ~trusted t);
   Alcotest.check kind "only trusted -> unknown" Origin.Unknown
-    (Origin.classify ~trusted (Tagset.singleton src_libc))
+    (Origin.classify ~trusted (Tagset.singleton sp src_libc))
 
 let test_origin_classify_all () =
-  let t = Tagset.of_list [ src_bin; src_user; src_sock ] in
+  let t = Tagset.of_list sp [ src_bin; src_user; src_sock ] in
   check_int "three origins" 3
     (List.length (Origin.classify_all ~trusted:no_trust t));
   (match Origin.classify_all ~trusted:no_trust t with

@@ -1,6 +1,7 @@
 (* Tests for trace recording and offline replay. *)
 
 let check = Alcotest.(check bool)
+let sp = Taint.Space.create ()
 let check_int = Alcotest.(check int)
 
 let find name =
@@ -26,7 +27,7 @@ let test_roundtrip_binary_head () =
   let e =
     Harrier.Events.Transfer
       { call = "SYS_write";
-        data = Taint.Tagset.singleton (Taint.Source.Socket "h:1");
+        data = (Taint.Tagset.singleton sp) (Taint.Source.Socket "h:1");
         head = "MZ\x90\x00\x01\xFF\n\t\"quoted\"";
         sources = [ Taint.Source.Socket "h:1", Taint.Tagset.empty ];
         target =
