@@ -199,6 +199,39 @@ let corpus_results () =
     sustained_ns (sweep (Hth.Engine.run shared_fast) scs) ]
   |> List.sort compare
 
+(* ------------------------------------------------------------------ *)
+(* Fleet scaling: the same golden sweep pushed through the
+   work-stealing executor at increasing worker counts.  The executor
+   (and its per-worker engine forks) persists across rounds, like a
+   long-lived hth_serve process; each measured round submits the whole
+   corpus and drains it in order.  Speedup is bounded by the host's
+   core count — recorded in the JSON row so a 1-core CI box reporting
+   1.0x is not mistaken for a scheduler regression. *)
+
+let fleet_jobs = [ 1; 2; 4; 8 ]
+
+let fleet_rounds = 30
+
+let fleet_results () =
+  let scs = golden_corpus () in
+  let batch =
+    List.map
+      (fun (sc : Guest.Scenario.t) -> Fleet.Executor.job sc.sc_setup)
+      scs
+  in
+  List.map
+    (fun jobs ->
+      let base = Hth.Engine.create ~keep_events:false () in
+      let ex = Fleet.Executor.create ~jobs [ "default", base ] in
+      let ns =
+        sustained_ns ~rounds:fleet_rounds (fun () ->
+            ignore (Fleet.Executor.run_all ex batch))
+      in
+      let st = Fleet.Executor.stats ex in
+      Fleet.Executor.shutdown ex;
+      Printf.sprintf "fleet/jobs=%d" jobs, ns, st)
+    fleet_jobs
+
 let analyze tests =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0
@@ -271,7 +304,7 @@ let corpus_cold_for corpus name =
   | Some (_, ns) -> Some ns
   | None -> None
 
-let write_json path ~levels ~native ~components ~policies ~corpus =
+let write_json path ~levels ~native ~components ~policies ~corpus ~fleet =
   let slowdown _ ns =
     if Float.is_nan native || native = 0. then []
     else [ Printf.sprintf "\"slowdown_vs_native\": %.2f" (ns /. native) ]
@@ -291,6 +324,30 @@ let write_json path ~levels ~native ~components ~policies ~corpus =
       @ [ Printf.sprintf "\"speedup_vs_cold\": %.2f" (cold /. ns) ]
     | _ -> fields
   in
+  let jobs1_ns =
+    match
+      List.find_opt (fun (n, _, _) -> n = "fleet/jobs=1") fleet
+    with
+    | Some (_, ns, _) -> ns
+    | None -> nan
+  in
+  let fleet_extra name ns =
+    match List.find_opt (fun (n, _, _) -> n = name) fleet with
+    | None -> []
+    | Some (_, _, (st : Fleet.Pool.stats)) ->
+      let total_rounds = fleet_rounds + 2 (* two warmups *) in
+      [ Printf.sprintf "\"host_cores\": %d"
+          (Domain.recommended_domain_count ());
+        Printf.sprintf "\"sessions_per_sec\": %.0f"
+          (float_of_int corpus_size *. 1e9 /. ns);
+        Printf.sprintf "\"steals_per_sweep\": %.1f"
+          (float_of_int st.stolen /. float_of_int total_rounds);
+        Printf.sprintf "\"parks_per_sweep\": %.1f"
+          (float_of_int st.parks /. float_of_int total_rounds) ]
+      @
+      (if Float.is_nan jobs1_ns || jobs1_ns <= 0. then []
+       else [ Printf.sprintf "\"speedup_vs_jobs1\": %.2f" (jobs1_ns /. ns) ])
+  in
   let doc =
     String.concat "\n"
       [ "{";
@@ -299,7 +356,10 @@ let write_json path ~levels ~native ~components ~policies ~corpus =
         json_group "levels" levels slowdown ^ ",";
         json_group "components" components no_extra ^ ",";
         json_group "policy" policies no_extra ^ ",";
-        json_group "corpus" corpus corpus_extra;
+        json_group "corpus" corpus corpus_extra ^ ",";
+        json_group "fleet"
+          (List.map (fun (n, ns, _) -> n, ns) fleet)
+          fleet_extra;
         "}" ]
   in
   let oc = open_out path in
@@ -349,4 +409,27 @@ let run ?(json_path = "BENCH_perf.json") () =
             | Some cold when cold > 0. -> Printf.sprintf "%.2fx" (cold /. ns)
             | _ -> "-") ])
        corpus);
-  write_json json_path ~levels ~native ~components ~policies ~corpus
+  let fleet = fleet_results () in
+  let jobs1 =
+    match List.find_opt (fun (n, _, _) -> n = "fleet/jobs=1") fleet with
+    | Some (_, ns, _) -> ns
+    | None -> nan
+  in
+  Grid.print
+    ~title:
+      (Printf.sprintf
+         "Fleet scaling (%d golden scenarios per sweep, %d host cores)"
+         corpus_size
+         (Domain.recommended_domain_count ()))
+    ~headers:
+      [ "Configuration"; "time/sweep"; "sessions/s"; "vs jobs=1";
+        "steals/sweep" ]
+    (List.map
+       (fun (name, ns, (st : Fleet.Pool.stats)) ->
+         [ name; human_ns ns;
+           Printf.sprintf "%.0f" (float_of_int corpus_size *. 1e9 /. ns);
+           Printf.sprintf "%.2fx" (jobs1 /. ns);
+           Printf.sprintf "%.1f"
+             (float_of_int st.stolen /. float_of_int (fleet_rounds + 2)) ])
+       fleet);
+  write_json json_path ~levels ~native ~components ~policies ~corpus ~fleet

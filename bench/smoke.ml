@@ -42,6 +42,32 @@ let () =
            = List.map Secpert.Warning.to_string warm.warnings))
     scs;
   Perf.sweep (Hth.Engine.run eng) scs ();
+  (* fleet executor path: a 2-worker sweep must agree with the shared
+     engine on every verdict, in submission order *)
+  let ex = Fleet.Executor.create ~jobs:2 [ "default", Hth.Engine.create () ] in
+  let outs =
+    Fleet.Executor.run_all ex
+      (List.map
+         (fun (sc : Guest.Scenario.t) -> Fleet.Executor.job sc.sc_setup)
+         scs)
+  in
+  Fleet.Executor.shutdown ex;
+  check "fleet outcome count" (List.length outs = List.length scs);
+  List.iter2
+    (fun (sc : Guest.Scenario.t) (o : Fleet.Executor.outcome) ->
+      match o.o_result with
+      | Error e ->
+        failwith
+          ("bench smoke: fleet error on " ^ sc.sc_name ^ ": "
+          ^ Hth.Error.to_string e)
+      | Ok r ->
+        let direct = Hth.Engine.run eng sc.sc_setup in
+        check
+          ("fleet verdict matches engine: " ^ sc.sc_name)
+          (r.max_severity = direct.max_severity))
+    scs outs;
+  check "fleet executed counted"
+    ((Fleet.Executor.stats ex).executed = List.length scs);
   (* observability: counters move, the JSONL trace is byte-deterministic,
      and the no-op sink is restored afterwards *)
   let r = Hth.Session.run sc.sc_setup in
@@ -69,6 +95,13 @@ let () =
     ~policies:[ "policy/native rules (20 transfers)", 1e5 ]
     ~corpus:
       [ "corpus/cold per-session setup (native)", 2e6;
-        "corpus/shared engine (native)", 1e6 ];
+        "corpus/shared engine (native)", 1e6 ]
+    ~fleet:
+      [ "fleet/jobs=1", 2e6,
+        { Fleet.Pool.executed = 9; stolen = 0; injected = 9; parks = 0;
+          exceptions = 0 };
+        "fleet/jobs=2", 1e6,
+        { Fleet.Pool.executed = 9; stolen = 3; injected = 9; parks = 1;
+          exceptions = 0 } ];
   Sys.remove tmp;
   print_endline "bench smoke ok"

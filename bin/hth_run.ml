@@ -238,8 +238,24 @@ let batch_cmd =
     in
     Arg.(value & flag & info [ "share-taint" ] ~doc)
   in
+  let jobs_arg =
+    let doc =
+      "Run scenarios on $(docv) worker domains (work-stealing fleet; \
+       each worker forks the engine's mutable pools).  Output is \
+       byte-identical whatever $(docv) is."
+    in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let trace_dir_arg =
+    let doc =
+      "Write each scenario's JSONL trace to $(docv)/NAME.jsonl.  Traces \
+       are captured per worker domain and are byte-identical to \
+       single-scenario --trace runs."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
+  in
   let run trust_nothing clips kill_at fault_plan seed budget_specs
-      share_taint =
+      share_taint jobs trace_dir =
     let budgets = budgets_of budget_specs in
     let fault = fault_of fault_plan seed in
     let trust =
@@ -262,13 +278,44 @@ let batch_cmd =
       Hth.Engine.create ~trust ~policy ?auto_kill
         ~share_taint_space:share_taint ()
     in
+    Option.iter
+      (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
+      trace_dir;
+    (* Every batch goes through the fleet (jobs=1 is a one-worker
+       fleet); outcomes come back in submission order, so this prints
+       the exact rows the old sequential loop printed. *)
+    let ex = Fleet.Executor.create ~jobs [ "default", engine ] in
+    let outcomes =
+      Fleet.Executor.run_all ex
+        (List.map
+           (fun (sc : Guest.Scenario.t) ->
+             Fleet.Executor.job ~budgets ~fault
+               ~trace:(trace_dir <> None) sc.sc_setup)
+           Guest.Corpus.all)
+    in
+    Fleet.Executor.shutdown ex;
     let failures = ref 0 and errors = ref 0 and degraded = ref 0 in
     Fmt.pr "%-40s %-18s %-22s %s@." "scenario" "expected" "outcome" "notes";
-    List.iter
-      (fun (sc : Guest.Scenario.t) ->
-        match
-          Hth.Engine.run_outcome engine ~budgets ~fault sc.sc_setup
-        with
+    List.iter2
+      (fun (sc : Guest.Scenario.t) (o : Fleet.Executor.outcome) ->
+        Option.iter
+          (fun dir ->
+            Option.iter
+              (fun bytes ->
+                (* scenario names can hold '/' (W32/MyDoom.B) *)
+                let file =
+                  String.map
+                    (fun c -> if c = '/' || c = ' ' then '_' else c)
+                    sc.sc_name
+                in
+                let oc =
+                  open_out (Filename.concat dir (file ^ ".jsonl"))
+                in
+                output_string oc bytes;
+                close_out oc)
+              o.o_trace)
+          trace_dir;
+        match o.o_result with
         | Error e ->
           incr errors;
           Fmt.pr "%-40s %-18s %-22s %a@." sc.sc_name
@@ -286,7 +333,7 @@ let batch_cmd =
             (String.concat "; "
                ((if ok then [] else [ "MISMATCH" ])
                @ if r.degraded = [] then [] else [ "degraded" ])))
-      Guest.Corpus.all;
+      Guest.Corpus.all outcomes;
     Fmt.pr "@.%d scenarios: %d verdict mismatches, %d errors, %d degraded@."
       (List.length Guest.Corpus.all)
       !failures !errors !degraded;
@@ -295,7 +342,8 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       const run $ trust_nothing_flag $ clips_flag $ kill_at_arg
-      $ fault_plan_arg $ seed_arg $ budget_args $ share_taint_flag)
+      $ fault_plan_arg $ seed_arg $ budget_args $ share_taint_flag
+      $ jobs_arg $ trace_dir_arg)
 
 let trace_cmd =
   let doc =

@@ -1,0 +1,77 @@
+(* hth_serve: long-lived analysis service over the fleet.
+
+     echo '{"scenario":"pma"}' | dune exec bin/hth_serve.exe -- --jobs 4
+     dune exec bin/hth_serve.exe -- --socket /tmp/hth.sock --jobs 4
+
+   One flat-JSON request per line in, one response line out, in input
+   order (see Fleet.Serve for the protocol).  The engines — native and
+   CLIPS policies — are compiled once at startup and forked per
+   worker; every connection or stdin stream reuses them. *)
+
+open Cmdliner
+
+let resolver name =
+  Option.map
+    (fun (sc : Guest.Scenario.t) ->
+      { Fleet.Serve.t_setup = sc.sc_setup;
+        t_expected = Guest.Scenario.expected_label sc.sc_expected;
+        t_matches = Guest.Scenario.matches sc.sc_expected })
+    (Guest.Corpus.find name)
+
+let jobs_arg =
+  let doc = "Size of the worker-domain fleet." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let socket_arg =
+  let doc =
+    "Listen on a Unix socket at $(docv) instead of serving stdin; \
+     connections are served one at a time, each as its own request \
+     stream.  An existing socket file at $(docv) is replaced."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_channel ~jobs ic oc =
+  Fleet.Serve.run ~jobs ~resolver
+    ~input:(fun () -> In_channel.input_line ic)
+    ~output:(fun line ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc)
+    ()
+
+let serve_stdin jobs =
+  ignore (serve_channel ~jobs stdin stdout)
+
+let serve_socket jobs path =
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  Printf.eprintf "hth_serve: listening on %s (%d worker%s)\n%!" path jobs
+    (if jobs = 1 then "" else "s");
+  let rec accept_loop () =
+    let fd, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (try
+       let n = serve_channel ~jobs ic oc in
+       Printf.eprintf "hth_serve: connection done, %d request%s\n%!" n
+         (if n = 1 then "" else "s")
+     with e ->
+       Printf.eprintf "hth_serve: connection error: %s\n%!"
+         (Printexc.to_string e));
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    accept_loop ()
+  in
+  accept_loop ()
+
+let main jobs socket =
+  let jobs = max 1 jobs in
+  match socket with
+  | None -> serve_stdin jobs
+  | Some path -> serve_socket jobs path
+
+let () =
+  let doc = "Hunting Trojan Horses: line-framed JSON analysis service" in
+  let info = Cmd.info "hth_serve" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.v info Term.(const main $ jobs_arg $ socket_arg)))

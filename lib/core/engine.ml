@@ -122,6 +122,7 @@ type t = {
          at tear-down.  Buffers are zeroed or overwritten on reuse, so
          guest behaviour — and therefore every counter and trace line —
          is identical to fresh allocation. *)
+  e_mem_pool_cap : int;  (* remembered so [fork] can size worker pools *)
 }
 
 let space_pool_cap = 4
@@ -140,7 +141,28 @@ let create ?monitor_config ?trust ?thresholds ?auto_kill
       (if share_taint_space then Some (Taint.Space.create ()) else None);
     e_images = [];
     e_space_pool = [];
-    e_mem_pool = Vm.Machine.mem_pool ~cap:mem_pool_cap () }
+    e_mem_pool = Vm.Machine.mem_pool ~cap:mem_pool_cap ();
+    e_mem_pool_cap = mem_pool_cap }
+
+(* A worker's view of the same engine.  The shared artifacts — compiled
+   policy (for CLIPS, the parsed rule forms as finished values), trust
+   database, thresholds, monitor configuration — are immutable after
+   [create] and safe to read from any domain; everything mutable (the
+   linked-image cache, the taint-space pool, the guest memory pool, the
+   shared taint space when enabled) is per-fork, so a fork is safe to
+   drive from another domain concurrently with its parent and with
+   other forks.  Each fork re-links images on first sight of a program
+   set: linking is deterministic and happens outside per-run counter
+   snapshots, so a session run through a fork is byte-identical to one
+   run through the parent. *)
+let fork eng =
+  { eng with
+    e_images = [];
+    e_space_pool = [];
+    e_mem_pool = Vm.Machine.mem_pool ~cap:eng.e_mem_pool_cap ();
+    e_mem_pool_cap = eng.e_mem_pool_cap;
+    e_shared_space =
+      Option.map (fun _ -> Taint.Space.create ()) eng.e_shared_space }
 
 (* Fresh-space mode recycles arenas through the engine's pool: a reset
    space behaves exactly like [Taint.Space.create ()] but skips the

@@ -133,6 +133,17 @@ val create :
   unit ->
   t
 
+(** [fork engine] is a worker's view of the same engine: it shares the
+    compiled policy, trust database and configuration (all immutable
+    after {!create}) but owns fresh mutable pools — linked-image cache,
+    taint-space pool, guest memory pool, and its own shared taint space
+    when the parent enabled one.  A fork is safe to use from another
+    domain concurrently with the parent and with other forks, and runs
+    sessions byte-identically to the parent (each fork re-links images
+    on first sight of a program set, outside per-run counter
+    snapshots). *)
+val fork : t -> t
+
 (** [run_outcome engine setup] executes one session against the
     engine's shared artifacts and isolates every session-path failure
     as a typed {!Error.t}: load failures, policy installation errors

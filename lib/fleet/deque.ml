@@ -1,0 +1,88 @@
+(* Chase-Lev work-stealing deque, hand-rolled on [Atomic].
+
+   One owner domain pushes and pops at the bottom; any number of thief
+   domains steal from the top with a CAS.  The ring buffer is grown by
+   the owner only; thieves that raced a grow still read through the
+   array they loaded first — every logical index in [top, bottom) maps
+   to a cell holding the same task in both generations (grow copies by
+   logical index, and the owner never overwrites an old-generation cell,
+   because it grows precisely when the ring would wrap onto live
+   entries).
+
+   All cells are [Atomic.t] and every access is sequentially consistent
+   — this deque schedules whole analysis sessions (milliseconds each),
+   so we buy the simplest possible memory-model argument rather than
+   chase relaxed-access nanoseconds. *)
+
+type 'a t = {
+  top : int Atomic.t;  (* next index thieves claim *)
+  bottom : int Atomic.t;  (* next index the owner writes *)
+  mutable cells : 'a option Atomic.t array;  (* power-of-two ring *)
+}
+
+let create ?(capacity = 16) () =
+  let cap = ref 2 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  { top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    cells = Array.init !cap (fun _ -> Atomic.make None) }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+(* Owner-only: double the ring, copying live entries by logical index.
+   Old-generation cells stay intact for thieves mid-steal. *)
+let grow t tp b =
+  let old = t.cells in
+  let osize = Array.length old in
+  let nsize = osize * 2 in
+  let cells = Array.init nsize (fun _ -> Atomic.make None) in
+  for i = tp to b - 1 do
+    Atomic.set cells.(i land (nsize - 1)) (Atomic.get old.(i land (osize - 1)))
+  done;
+  t.cells <- cells
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b - tp >= Array.length t.cells then grow t tp b;
+  let cells = t.cells in
+  Atomic.set cells.(b land (Array.length cells - 1)) (Some v);
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* empty: restore *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let cells = t.cells in
+    let v = Atomic.get cells.(b land (Array.length cells - 1)) in
+    if b > tp then v
+    else begin
+      (* last entry: race thieves for it via the top CAS *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then v else None
+    end
+  end
+
+let rec steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let cells = t.cells in
+    let v = Atomic.get cells.(tp land (Array.length cells - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then v
+    else begin
+      (* lost to the owner's pop or another thief; rescan *)
+      Domain.cpu_relax ();
+      steal t
+    end
+  end

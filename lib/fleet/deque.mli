@@ -1,0 +1,30 @@
+(** Chase-Lev work-stealing deque.
+
+    Single-owner, multi-thief: exactly one domain may call {!push} and
+    {!pop} (its bottom end); any domain may call {!steal} (the top
+    end).  Lock-free — thieves claim entries with a CAS on the top
+    index; the owner only synchronises on the last remaining entry.
+
+    The ring grows geometrically (owner-side only), so capacity is a
+    hint, not a bound. *)
+
+type 'a t
+
+(** [create ()] makes an empty deque.  [capacity] (default 16) is
+    rounded up to a power of two. *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** Owner only.  Amortised O(1). *)
+val push : 'a t -> 'a -> unit
+
+(** Owner only: newest entry first (LIFO — keeps the owner on the warm
+    end while thieves drain the cold end). *)
+val pop : 'a t -> 'a option
+
+(** Any domain: oldest entry first (FIFO).  [None] when empty; retries
+    internally on CAS races, so [None] really means empty at some
+    linearisation point. *)
+val steal : 'a t -> 'a option
+
+(** Racy size estimate (exact when quiescent). *)
+val size : 'a t -> int

@@ -1,0 +1,152 @@
+(* Session executor over Pool: submits Engine sessions, returns
+   outcomes in submission order.
+
+   Sharing model: the caller's engines are compiled once; [create]
+   gives every worker its own [Hth.Engine.fork] of each (shared
+   compiled policy / trust / config, private image cache, taint-space
+   pool and guest memory pool).  A task runs only on its worker's
+   fork, so no mutable engine state ever crosses domains.
+
+   Ordering: submissions get a dense sequence number; finished
+   outcomes land in a reorder buffer and [next] releases them strictly
+   in sequence, so downstream output is byte-identical to a sequential
+   run no matter how the pool interleaved. *)
+
+type job = {
+  j_engine : string;
+  j_setup : Hth.Engine.setup;
+  j_budgets : Hth.Engine.budgets;
+  j_fault : Osim.Fault.plan;
+  j_trace : bool;
+}
+
+let job ?(engine = "default") ?(budgets = Hth.Engine.no_budgets)
+    ?(fault = Osim.Fault.none) ?(trace = false) setup =
+  { j_engine = engine; j_setup = setup; j_budgets = budgets;
+    j_fault = fault; j_trace = trace }
+
+type outcome = {
+  o_seq : int;
+  o_trace : string option;
+  o_result : (Hth.Engine.result, Hth.Error.t) Stdlib.result;
+}
+
+type t = {
+  pool : Pool.t;
+  engines : (string * Hth.Engine.t array) list;  (* name -> per-worker forks *)
+  mu : Mutex.t;
+  cv : Condition.t;
+  ready : (int, outcome) Hashtbl.t;  (* finished, not yet released *)
+  mutable next_seq : int;  (* next sequence number to assign *)
+  mutable next_out : int;  (* next sequence number [next] releases *)
+  mutable closed : bool;
+}
+
+let create ?(jobs = 1) engines =
+  let jobs = max 1 jobs in
+  let forks =
+    List.map
+      (fun (name, e) -> name, Array.init jobs (fun _ -> Hth.Engine.fork e))
+      engines
+  in
+  { pool = Pool.create ~jobs ();
+    engines = forks;
+    mu = Mutex.create ();
+    cv = Condition.create ();
+    ready = Hashtbl.create 64;
+    next_seq = 0;
+    next_out = 0;
+    closed = false }
+
+let jobs t = Pool.jobs t.pool
+
+(* Runs on a worker domain.  Every failure path (unknown engine,
+   session error, escaped exception) becomes an ordinary outcome so
+   the sequence stays gap-free and the worker survives. *)
+let run_one t job seq w =
+  let outcome =
+    match List.assoc_opt job.j_engine t.engines with
+    | None ->
+      { o_seq = seq;
+        o_trace = None;
+        o_result =
+          Error
+            (Hth.Error.Policy_error
+               (Printf.sprintf "fleet: unknown engine %S" job.j_engine)) }
+    | Some forks ->
+      let eng = forks.(w) in
+      let buf = if job.j_trace then Some (Buffer.create 4096) else None in
+      Option.iter Obs.Trace.to_buffer buf;
+      let result =
+        Fun.protect
+          ~finally:(fun () -> if job.j_trace then Obs.Trace.disable ())
+          (fun () ->
+            try
+              Hth.Engine.run_outcome eng ~budgets:job.j_budgets
+                ~fault:job.j_fault job.j_setup
+            with exn ->
+              Error
+                (Hth.Error.Crash
+                   { phase = "fleet"; exn = Printexc.to_string exn }))
+      in
+      { o_seq = seq;
+        o_trace = Option.map Buffer.contents buf;
+        o_result = result }
+  in
+  Mutex.lock t.mu;
+  Hashtbl.replace t.ready seq outcome;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu
+
+let submit t job =
+  Mutex.lock t.mu;
+  if t.closed then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Fleet.Executor.submit: executor is closed"
+  end;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Mutex.unlock t.mu;
+  Pool.submit t.pool (fun w -> run_one t job seq w);
+  seq
+
+let close t =
+  Mutex.lock t.mu;
+  t.closed <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu
+
+let next t =
+  Mutex.lock t.mu;
+  let rec wait () =
+    match Hashtbl.find_opt t.ready t.next_out with
+    | Some o ->
+      Hashtbl.remove t.ready t.next_out;
+      t.next_out <- t.next_out + 1;
+      Mutex.unlock t.mu;
+      Some o
+    | None ->
+      if t.closed && t.next_out >= t.next_seq then begin
+        Mutex.unlock t.mu;
+        None
+      end
+      else begin
+        Condition.wait t.cv t.mu;
+        wait ()
+      end
+  in
+  wait ()
+
+let run_all t jobs =
+  let n = List.length jobs in
+  List.iter (fun j -> ignore (submit t j)) jobs;
+  List.init n (fun _ ->
+      match next t with
+      | Some o -> o
+      | None -> assert false (* [next] only returns None once closed *))
+
+let stats t = Pool.stats t.pool
+
+let shutdown t =
+  close t;
+  Pool.shutdown t.pool

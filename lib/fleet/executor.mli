@@ -1,0 +1,69 @@
+(** Domain-parallel session executor.
+
+    Wraps {!Pool} with everything Engine-shaped: each worker owns an
+    {!Hth.Engine.fork} of every named engine (compiled artifacts
+    shared, mutable pools private), sessions run as pool tasks, and
+    outcomes come back {e in submission order} through a reorder
+    buffer — so batch output derived from {!next} is byte-identical to
+    running the same jobs sequentially, independent of interleaving.
+
+    Determinism: a session's result (trace bytes included) depends only
+    on its own job, never on which worker ran it or what ran before —
+    per-domain Obs state, per-run counter diffs, and fork-private
+    pools guarantee it (see DESIGN.md §15). *)
+
+type t
+
+type job
+
+(** [job setup] describes one session: [engine] names which of the
+    executor's engines runs it (default ["default"]); [budgets],
+    [fault] as in {!Hth.Engine.run_outcome}; [trace] captures the
+    session's JSONL trace into the outcome. *)
+val job :
+  ?engine:string ->
+  ?budgets:Hth.Engine.budgets ->
+  ?fault:Osim.Fault.plan ->
+  ?trace:bool ->
+  Hth.Engine.setup ->
+  job
+
+type outcome = {
+  o_seq : int;  (** the sequence number {!submit} returned *)
+  o_trace : string option;  (** JSONL trace bytes when [trace:true] *)
+  o_result : (Hth.Engine.result, Hth.Error.t) Stdlib.result;
+      (** typed per-session outcome; a job naming an unknown engine
+          yields [Error (Policy_error _)], an escaped exception
+          [Error (Crash _)] — the fleet itself never propagates *)
+}
+
+(** [create ~jobs engines] forks each named engine once per worker and
+    spawns the pool.  The parent engines stay usable by the caller. *)
+val create : ?jobs:int -> (string * Hth.Engine.t) list -> t
+
+val jobs : t -> int
+
+(** [submit t job] enqueues a session, returning its sequence number.
+    Raises [Invalid_argument] after {!close}. *)
+val submit : t -> job -> int
+
+(** [next t] blocks for the outcome with the lowest unreleased sequence
+    number; [None] once the executor is closed and every outcome has
+    been released.  Call from one consumer at a time. *)
+val next : t -> outcome option
+
+(** [run_all t jobs] submits all and collects their outcomes in order —
+    the whole-batch convenience (requires every previously submitted
+    outcome to have been consumed). *)
+val run_all : t -> job list -> outcome list
+
+(** No further submissions; pending work still completes and {!next}
+    drains it. *)
+val close : t -> unit
+
+(** [shutdown t] closes, drains, joins the workers and absorbs their
+    observability shards into the calling domain (worker-index order —
+    deterministic counter totals). *)
+val shutdown : t -> unit
+
+val stats : t -> Pool.stats

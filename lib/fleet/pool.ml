@@ -1,0 +1,241 @@
+(* N-domain work-stealing pool over stdlib Domain/Mutex/Condition.
+
+   Topology: a sharded injector (one locked FIFO per worker, submits
+   round-robin) feeds per-worker Chase-Lev deques.  A worker looks for
+   work in warmth order — own deque, then injector shards (taking a
+   chunk: run one, deque the rest, where thieves can reach them), then
+   stealing from other workers' deques.
+
+   Parking protocol: [gen] (under [lock]) counts work-arrival events —
+   every submission and every chunk-move into a stealable deque bumps
+   it and broadcasts.  A worker snapshots [gen] under the lock *before*
+   scanning; if the scan comes up empty it sleeps until [gen] moves.
+   Work arriving after the snapshot flips the predicate (no lost
+   wakeup); work that existed before the snapshot was either found by
+   the scan or legitimately claimed by someone else — in which case
+   sleeping is correct.  Crucially a worker that loses every race goes
+   to sleep rather than rescanning: on an oversubscribed host, spinning
+   idle domains steal the cores from the domains doing the work (and
+   drag every stop-the-world minor GC into a context-switch storm).
+
+   Observability: scheduler counters (fleet.tasks / steals / parks /
+   exceptions) are incremented between task executions, never inside
+   one, so they cannot leak into a session's per-run counter diff or
+   trace.  Each worker accumulates all its Obs state domain-locally;
+   at [shutdown] the shards are folded into the caller's domain in
+   worker-index order — a deterministic merge (see Obs.absorb). *)
+
+type task = int -> unit
+
+type stats = {
+  executed : int;
+  stolen : int;
+  injected : int;
+  parks : int;
+  exceptions : int;
+}
+
+type t = {
+  jobs : int;
+  chunk : int;
+  deques : task Deque.t array;
+  shards : task Queue.t array;
+  shard_mu : Mutex.t array;
+  rr : int Atomic.t;  (* round-robin submit cursor *)
+  stop : bool Atomic.t;
+  lock : Mutex.t;
+  work_cv : Condition.t;  (* "new work arrived" *)
+  done_cv : Condition.t;  (* "a task finished" *)
+  mutable gen : int;  (* work-arrival generation; under [lock] *)
+  mutable submitted : int;  (* under [lock] *)
+  mutable finished : int;  (* under [lock] *)
+  s_executed : int Atomic.t;
+  s_stolen : int Atomic.t;
+  s_injected : int Atomic.t;
+  s_parks : int Atomic.t;
+  s_exceptions : int Atomic.t;
+  exports : Obs.export option array;  (* worker Obs shards, set at exit *)
+  mutable domains : unit Domain.t array;
+}
+
+let c_tasks = Obs.Counter.make "fleet.tasks"
+let c_steals = Obs.Counter.make "fleet.steals"
+let c_parks = Obs.Counter.make "fleet.parks"
+let c_exceptions = Obs.Counter.make "fleet.exceptions"
+
+(* Announce new claimable work.  Must not be called from inside
+   [lock]. *)
+let announce p =
+  Mutex.lock p.lock;
+  p.gen <- p.gen + 1;
+  Condition.broadcast p.work_cv;
+  Mutex.unlock p.lock
+
+let exec p w task =
+  (try task w
+   with _ ->
+     (* tasks are expected to confine their own failures (the executor
+        wraps sessions); anything that still escapes is counted and
+        dropped so one bad task cannot take its worker down *)
+     Atomic.incr p.s_exceptions;
+     Obs.Counter.incr c_exceptions);
+  Atomic.incr p.s_executed;
+  Obs.Counter.incr c_tasks;
+  Mutex.lock p.lock;
+  p.finished <- p.finished + 1;
+  Condition.broadcast p.done_cv;
+  Mutex.unlock p.lock
+
+(* Scan injector shards (own shard first); move up to [chunk] tasks
+   out of the first non-empty one — run the first, push the rest onto
+   our deque where thieves can reach them. *)
+let from_injector p w =
+  let first = ref None in
+  let moved = ref 0 in
+  let i = ref 0 in
+  while !first = None && !i < p.jobs do
+    let s = (w + !i) mod p.jobs in
+    Mutex.lock p.shard_mu.(s);
+    let q = p.shards.(s) in
+    if not (Queue.is_empty q) then begin
+      first := Some (Queue.pop q);
+      while !moved < p.chunk - 1 && not (Queue.is_empty q) do
+        Deque.push p.deques.(w) (Queue.pop q);
+        incr moved
+      done
+    end;
+    Mutex.unlock p.shard_mu.(s);
+    incr i
+  done;
+  if !moved > 0 then announce p;
+  !first
+
+let try_steal p w =
+  let rec scan k =
+    if k >= p.jobs then None
+    else
+      match Deque.steal p.deques.((w + k) mod p.jobs) with
+      | Some _ as r ->
+        Atomic.incr p.s_stolen;
+        Obs.Counter.incr c_steals;
+        r
+      | None -> scan (k + 1)
+  in
+  scan 1
+
+let read_gen p =
+  Mutex.lock p.lock;
+  let g = p.gen in
+  Mutex.unlock p.lock;
+  g
+
+(* Sleep until the generation moves past the pre-scan snapshot [g].
+   Returns [false] when the pool is stopping. *)
+let park p g =
+  Mutex.lock p.lock;
+  let waited = ref false in
+  while (not (Atomic.get p.stop)) && p.gen = g do
+    if not !waited then begin
+      waited := true;
+      Atomic.incr p.s_parks;
+      Obs.Counter.incr c_parks
+    end;
+    Condition.wait p.work_cv p.lock
+  done;
+  Mutex.unlock p.lock;
+  not (Atomic.get p.stop)
+
+let worker p w =
+  let rec loop () =
+    if Atomic.get p.stop then ()
+    else begin
+      (* snapshot before scanning: any work announced after this point
+         flips the park predicate *)
+      let g = read_gen p in
+      match Deque.pop p.deques.(w) with
+      | Some task ->
+        exec p w task;
+        loop ()
+      | None -> (
+        match from_injector p w with
+        | Some task ->
+          exec p w task;
+          loop ()
+        | None -> (
+          match try_steal p w with
+          | Some task ->
+            exec p w task;
+            loop ()
+          | None -> if park p g then loop ()))
+    end
+  in
+  loop ();
+  (* hand this domain's Obs shard (counters, histograms) to shutdown *)
+  p.exports.(w) <- Some (Obs.export ())
+
+let create ?(chunk = 4) ~jobs () =
+  let jobs = max 1 jobs in
+  let p =
+    { jobs;
+      chunk = max 1 chunk;
+      deques = Array.init jobs (fun _ -> Deque.create ());
+      shards = Array.init jobs (fun _ -> Queue.create ());
+      shard_mu = Array.init jobs (fun _ -> Mutex.create ());
+      rr = Atomic.make 0;
+      stop = Atomic.make false;
+      lock = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      gen = 0;
+      submitted = 0;
+      finished = 0;
+      s_executed = Atomic.make 0;
+      s_stolen = Atomic.make 0;
+      s_injected = Atomic.make 0;
+      s_parks = Atomic.make 0;
+      s_exceptions = Atomic.make 0;
+      exports = Array.make jobs None;
+      domains = [||] }
+  in
+  p.domains <- Array.init jobs (fun w -> Domain.spawn (fun () -> worker p w));
+  p
+
+let jobs p = p.jobs
+
+let submit p task =
+  if Atomic.get p.stop then invalid_arg "Fleet.Pool.submit: pool is shut down";
+  let s = Atomic.fetch_and_add p.rr 1 mod p.jobs in
+  Mutex.lock p.shard_mu.(s);
+  Queue.push task p.shards.(s);
+  Mutex.unlock p.shard_mu.(s);
+  Atomic.incr p.s_injected;
+  Mutex.lock p.lock;
+  p.submitted <- p.submitted + 1;
+  p.gen <- p.gen + 1;
+  Condition.broadcast p.work_cv;
+  Mutex.unlock p.lock
+
+let drain p =
+  Mutex.lock p.lock;
+  while p.finished < p.submitted do
+    Condition.wait p.done_cv p.lock
+  done;
+  Mutex.unlock p.lock
+
+let shutdown p =
+  drain p;
+  Atomic.set p.stop true;
+  Mutex.lock p.lock;
+  Condition.broadcast p.work_cv;
+  Mutex.unlock p.lock;
+  Array.iter Domain.join p.domains;
+  (* fold worker Obs shards into this domain, in worker-index order:
+     the merge result is independent of how tasks were interleaved *)
+  Array.iter (function Some x -> Obs.absorb x | None -> ()) p.exports
+
+let stats p =
+  { executed = Atomic.get p.s_executed;
+    stolen = Atomic.get p.s_stolen;
+    injected = Atomic.get p.s_injected;
+    parks = Atomic.get p.s_parks;
+    exceptions = Atomic.get p.s_exceptions }

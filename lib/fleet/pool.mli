@@ -1,0 +1,54 @@
+(** N-domain work-stealing task pool.
+
+    [jobs] worker domains pull from a sharded injector queue into
+    per-worker {!Deque}s and steal from each other when their own work
+    runs out.  Tasks receive the index of the worker running them
+    (0-based) — the executor uses it to pick that worker's private
+    engine fork.
+
+    A task must not raise: anything that escapes is swallowed, counted
+    under [fleet.exceptions], and the worker moves on — one broken task
+    never takes down the pool (see also {!Executor}, which confines
+    session failures to typed outcomes before they ever reach here).
+
+    Each worker accumulates observability state (counters, histograms,
+    traces) domain-locally; {!shutdown} folds the shards back into the
+    calling domain in worker-index order, which makes the merged
+    counters deterministic for a fixed job set regardless of how the
+    stealing interleaved. *)
+
+type task = int -> unit
+
+type t
+
+(** Scheduler telemetry (monotone; readable live from any domain). *)
+type stats = {
+  executed : int;  (** tasks completed *)
+  stolen : int;  (** tasks taken from another worker's deque *)
+  injected : int;  (** tasks submitted *)
+  parks : int;  (** times a worker went to sleep empty-handed *)
+  exceptions : int;  (** tasks that escaped with an exception *)
+}
+
+(** [create ~jobs ()] spawns [max 1 jobs] worker domains, idle until
+    work arrives.  [chunk] (default 4) bounds how many injector tasks a
+    worker moves into its own deque per grab — the knob that gives
+    thieves something to steal. *)
+val create : ?chunk:int -> jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** [submit p task] enqueues [task]; any domain may call this (the pool
+    itself must not — workers do not submit).  Raises [Invalid_argument]
+    after {!shutdown}. *)
+val submit : t -> task -> unit
+
+(** Block until every submitted task has finished. *)
+val drain : t -> unit
+
+(** [shutdown p] drains, stops and joins all workers, then absorbs
+    their observability shards into the calling domain (worker-index
+    order).  The pool is unusable afterwards. *)
+val shutdown : t -> unit
+
+val stats : t -> stats

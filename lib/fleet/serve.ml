@@ -1,0 +1,272 @@
+(* Line-framed JSON job protocol over the executor.
+
+   One request per input line — a flat JSON object, the same dialect
+   Obs.Trace emits and Forensics.Jsonl parses:
+
+     {"scenario":"pma","policy":"clips","seed":7,"id":"job-42"}
+
+   Fields: [scenario] (required), [policy] "native"|"clips" (default
+   native), [seed] int or [fault_plan] string (mutually exclusive),
+   [budget] "KEY=N,KEY=N", [id] echoed back verbatim.
+
+   One response line per request, in input order, whatever order the
+   fleet finished them in:
+
+     {"seq":0,"id":"job-42","scenario":"pma","status":"ok",
+      "verdict":"SUSPICIOUS (HIGH)","expected":"suspicious (HIGH)",
+      "match":true,"warnings":5,"distinct":2,"events":210,
+      "degraded":false,"findings":"..."}
+
+   Malformed lines produce {"status":"bad_request",...} at their
+   sequence position instead of poisoning the stream.  All response
+   content is session-deterministic, so serving the same request
+   script is byte-identical across runs and job counts. *)
+
+type target = {
+  t_setup : Hth.Engine.setup;
+  t_expected : string;
+  t_matches : Hth.Report.verdict -> bool;
+}
+
+type resolver = string -> target option
+
+(* ------------------------------------------------------------------ *)
+(* flat-JSON response rendering (mirrors the escapes Jsonl accepts)    *)
+
+type field = I of int | S of string | B of bool
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let render fields =
+  let b = Buffer.create 128 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      add_escaped b k;
+      Buffer.add_string b "\":";
+      match v with
+      | I n -> Buffer.add_string b (string_of_int n)
+      | B bo -> Buffer.add_string b (if bo then "true" else "false")
+      | S s ->
+        Buffer.add_char b '"';
+        add_escaped b s;
+        Buffer.add_char b '"')
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* request parsing                                                     *)
+
+type request = {
+  r_id : string option;
+  r_scenario : string;
+  r_expected : string;
+  r_matches : Hth.Report.verdict -> bool;
+}
+
+let field_str fields k =
+  match List.assoc_opt k fields with
+  | Some (Forensics.Jsonl.Str s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
+  | None -> Ok None
+
+let field_int fields k =
+  match List.assoc_opt k fields with
+  | Some (Forensics.Jsonl.Int n) -> Ok (Some n)
+  | Some _ -> Error (Printf.sprintf "field %S must be an int" k)
+  | None -> Ok None
+
+let ( let* ) = Result.bind
+
+(* A request either parses into (request, job) or into an error line. *)
+let parse_request resolver line =
+  let* fields = Forensics.Jsonl.parse_line line in
+  let* op = field_str fields "op" in
+  let* () =
+    match op with
+    | None | Some "run" -> Ok ()
+    | Some op -> Error (Printf.sprintf "unsupported op %S" op)
+  in
+  let* scenario = field_str fields "scenario" in
+  let* scenario =
+    match scenario with
+    | Some s -> Ok s
+    | None -> Error "missing field \"scenario\""
+  in
+  let* target =
+    match resolver scenario with
+    | Some t -> Ok t
+    | None -> Error (Printf.sprintf "unknown scenario %S" scenario)
+  in
+  let* id = field_str fields "id" in
+  let* policy = field_str fields "policy" in
+  let* engine =
+    match policy with
+    | None | Some "native" -> Ok "native"
+    | Some "clips" -> Ok "clips"
+    | Some p -> Error (Printf.sprintf "unknown policy %S (native|clips)" p)
+  in
+  let* seed = field_int fields "seed" in
+  let* plan = field_str fields "fault_plan" in
+  let* fault =
+    match seed, plan with
+    | Some _, Some _ -> Error "seed and fault_plan are mutually exclusive"
+    | Some s, None -> Ok (Osim.Fault.seeded s)
+    | None, Some p -> Osim.Fault.parse p
+    | None, None -> Ok Osim.Fault.none
+  in
+  let* budget = field_str fields "budget" in
+  let* budgets =
+    match budget with
+    | None -> Ok Hth.Engine.no_budgets
+    | Some spec -> Hth.Engine.parse_budgets (String.split_on_char ',' spec)
+  in
+  Ok
+    ( { r_id = id;
+        r_scenario = scenario;
+        r_expected = target.t_expected;
+        r_matches = target.t_matches },
+      Executor.job ~engine ~budgets ~fault target.t_setup )
+
+(* ------------------------------------------------------------------ *)
+(* ordered emission                                                    *)
+
+type emitter = {
+  e_mu : Mutex.t;
+  e_pending : (int, string) Hashtbl.t;
+  mutable e_next : int;
+  e_out : string -> unit;
+}
+
+let emit em k line =
+  Mutex.lock em.e_mu;
+  Hashtbl.replace em.e_pending k line;
+  while Hashtbl.mem em.e_pending em.e_next do
+    em.e_out (Hashtbl.find em.e_pending em.e_next);
+    Hashtbl.remove em.e_pending em.e_next;
+    em.e_next <- em.e_next + 1
+  done;
+  Mutex.unlock em.e_mu
+
+(* ------------------------------------------------------------------ *)
+(* response rendering                                                  *)
+
+let opt_id id rest = match id with None -> rest | Some i -> ("id", S i) :: rest
+
+let ok_line seq (req : request) (r : Hth.Engine.result) =
+  let v = Hth.Report.verdict r in
+  let distinct = r.distinct in
+  let findings =
+    String.concat "\n" (List.map Secpert.Warning.to_string distinct)
+  in
+  render
+    (("seq", I seq)
+     :: opt_id req.r_id
+          [ "scenario", S req.r_scenario;
+            "status", S "ok";
+            "verdict", S (Hth.Report.verdict_label v);
+            "expected", S req.r_expected;
+            "match", B (req.r_matches v);
+            "warnings", I (List.length r.warnings);
+            "distinct", I (List.length distinct);
+            "events", I r.event_count;
+            "degraded", B (r.degraded <> []);
+            "findings", S findings ])
+
+let error_line seq (req : request) e =
+  render
+    (("seq", I seq)
+     :: opt_id req.r_id
+          [ "scenario", S req.r_scenario;
+            "status", S "error";
+            "kind", S (Hth.Error.kind e);
+            "error", S (Hth.Error.to_string e) ])
+
+let bad_line seq msg =
+  render [ "seq", I seq; "status", S "bad_request"; "error", S msg ]
+
+(* ------------------------------------------------------------------ *)
+(* the serve loop                                                      *)
+
+let run ?(jobs = 1) ~resolver ~input ~output () =
+  let native = Hth.Engine.create ~keep_events:false () in
+  let clips =
+    Hth.Engine.create ~policy:Secpert.System.Clips ~keep_events:false ()
+  in
+  let ex = Executor.create ~jobs [ "native", native; "clips", clips ] in
+  let em =
+    { e_mu = Mutex.create ();
+      e_pending = Hashtbl.create 16;
+      e_next = 0;
+      e_out = output }
+  in
+  (* executor sequence -> (serve sequence, request echo data); written
+     by the reader right after submit, so the collector may momentarily
+     outrun it and must wait *)
+  let meta_mu = Mutex.create () in
+  let meta_cv = Condition.create () in
+  let meta : (int, int * request) Hashtbl.t = Hashtbl.create 16 in
+  let put_meta eseq v =
+    Mutex.lock meta_mu;
+    Hashtbl.replace meta eseq v;
+    Condition.broadcast meta_cv;
+    Mutex.unlock meta_mu
+  in
+  let take_meta eseq =
+    Mutex.lock meta_mu;
+    while not (Hashtbl.mem meta eseq) do
+      Condition.wait meta_cv meta_mu
+    done;
+    let v = Hashtbl.find meta eseq in
+    Hashtbl.remove meta eseq;
+    Mutex.unlock meta_mu;
+    v
+  in
+  let collector =
+    Domain.spawn (fun () ->
+        let rec go () =
+          match Executor.next ex with
+          | None -> ()
+          | Some o ->
+            let seq, req = take_meta o.Executor.o_seq in
+            let line =
+              match o.Executor.o_result with
+              | Ok r -> ok_line seq req r
+              | Error e -> error_line seq req e
+            in
+            emit em seq line;
+            go ()
+        in
+        go ())
+  in
+  let rec read_loop k =
+    match input () with
+    | None -> k
+    | Some line ->
+      (match parse_request resolver line with
+       | Error msg -> emit em k (bad_line k msg)
+       | Ok (req, job) ->
+         let eseq = Executor.submit ex job in
+         put_meta eseq (k, req));
+      read_loop (k + 1)
+  in
+  let total = read_loop 0 in
+  Executor.close ex;
+  Domain.join collector;
+  Executor.shutdown ex;
+  total

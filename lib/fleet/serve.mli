@@ -1,0 +1,38 @@
+(** Line-framed JSON job service over the executor.
+
+    Each input line is one flat JSON request (the {!Forensics.Jsonl}
+    dialect): [{"scenario":NAME}] plus optional [id] (echoed), [policy]
+    (["native"]|["clips"]), [seed] or [fault_plan] (deterministic fault
+    injection, mutually exclusive), [budget] (["KEY=N,KEY=N"]).  Each
+    request yields exactly one response line — verdict, expected label,
+    match flag, warning counts and the deduplicated findings with
+    evidence — emitted {e in input order} even though sessions run on
+    the fleet in whatever order stealing produces.  Malformed lines
+    become [{"status":"bad_request"}] responses at their position.
+
+    The transport is abstract ([input]/[output] closures), so the same
+    loop serves stdin/stdout, a Unix socket (see bin/hth_serve), or an
+    in-process test. *)
+
+(** What a scenario name resolves to. *)
+type target = {
+  t_setup : Hth.Engine.setup;
+  t_expected : string;  (** label echoed in responses *)
+  t_matches : Hth.Report.verdict -> bool;
+}
+
+type resolver = string -> target option
+
+(** [run ~resolver ~input ~output ()] serves requests until [input]
+    returns [None], then drains and returns the number of requests
+    answered.  [jobs] (default 1) sizes the fleet; [output] is called
+    once per response line (without trailing newline), possibly from a
+    different domain than the caller's, never concurrently with
+    itself. *)
+val run :
+  ?jobs:int ->
+  resolver:resolver ->
+  input:(unit -> string option) ->
+  output:(string -> unit) ->
+  unit ->
+  int

@@ -99,6 +99,11 @@ let build () =
 
   finalize u
 
-let cached = lazy (build ())
+(* Built eagerly at module init (assembly is microseconds): a [lazy]
+   here would be forced from whichever domain first touches the corpus,
+   and concurrent forcing across fleet workers can raise
+   [Lazy.Undefined].  Eager init happens in the main domain before any
+   worker exists. *)
+let cached = build ()
 
-let image () = Lazy.force cached
+let image () = cached

@@ -2,22 +2,54 @@
    a pluggable structured-event sink.
 
    Discipline: the disabled paths must be free.  [Counter.incr] is a
-   single unboxed field write (safe on per-instruction paths), and trace
+   domain-local array store (safe on per-instruction paths), and trace
    emission sites guard on [Trace.enabled] *before* building their field
    lists, so the no-op sink allocates nothing.  Wall-clock time never
    enters the trace — only the monotone step index — so traces of a
    deterministic simulation are byte-identical across runs; timings go
-   to histograms, which surface in stats only. *)
+   to histograms, which surface in stats only.
+
+   Multi-domain model (the fleet executor runs sessions on worker
+   domains): handles — counter and histogram identities — are global,
+   registered once under a mutex so every domain agrees on names and
+   slots.  Every *mutable* cell is domain-local, reached through one
+   [Domain.DLS] key per kind: a domain increments only its own cells,
+   installs only its own trace sink, and snapshots only its own state.
+   Nothing in the hot path takes a lock or issues an atomic
+   read-modify-write; two domains never write the same cell.  A worker
+   hands its finished shard to the coordinator as an {!export}, and
+   {!absorb} folds shards into the calling domain's cells — int sums,
+   so the merged counters are independent of how sessions were
+   partitioned across workers. *)
 
 type value = Int of int | Str of string | Bool of bool
+
+(* Registration lock: guards the name->handle registries and slot
+   allocation for counters and histograms.  Never taken by [incr],
+   [add], [observe] or [Trace.emit]. *)
+let reg_mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock reg_mu;
+  match f () with
+  | v ->
+    Mutex.unlock reg_mu;
+    v
+  | exception e ->
+    Mutex.unlock reg_mu;
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
 
 module Counter = struct
-  type t = { name : string; mutable v : int }
+  (* A handle is just a name and a slot into each domain's cell
+     array.  Cells live behind DLS so [incr] from concurrent domains
+     touch disjoint memory. *)
+  type t = { name : string; slot : int }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+  let next_slot = ref 0
 
   (* Family bookkeeping backs the counter-name stability gate: a
      [labeled base label] call registers the family [base ^ ".*"], and
@@ -27,25 +59,55 @@ module Counter = struct
   let families : (string, unit) Hashtbl.t = Hashtbl.create 16
   let members : (string, unit) Hashtbl.t = Hashtbl.create 64
 
-  let make name =
+  let cells_key : int array Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> [||])
+
+  let make_locked name =
     match Hashtbl.find_opt registry name with
     | Some c -> c
     | None ->
-      let c = { name; v = 0 } in
+      let c = { name; slot = !next_slot } in
+      incr next_slot;
       Hashtbl.add registry name c;
       c
 
+  let make name = locked (fun () -> make_locked name)
+
   let labeled base label =
     let name = base ^ "." ^ label in
-    if not (Hashtbl.mem families (base ^ ".*")) then
-      Hashtbl.replace families (base ^ ".*") ();
-    if not (Hashtbl.mem members name) then Hashtbl.replace members name ();
-    make name
+    locked (fun () ->
+        if not (Hashtbl.mem families (base ^ ".*")) then
+          Hashtbl.replace families (base ^ ".*") ();
+        if not (Hashtbl.mem members name) then Hashtbl.replace members name ();
+        make_locked name)
 
-  let[@inline] incr c = c.v <- c.v + 1
-  let[@inline] add c n = c.v <- c.v + n
-  let value c = c.v
-  let name c = c.name
+  (* Grow this domain's cell array to cover [slot].  Out of line: the
+     fast path is one DLS read, one bounds check and one store. *)
+  let[@inline never] grow slot =
+    let a = Domain.DLS.get cells_key in
+    let n = max (slot + 1) (max (2 * Array.length a) 64) in
+    let b = Array.make n 0 in
+    Array.blit a 0 b 0 (Array.length a);
+    Domain.DLS.set cells_key b;
+    b
+
+  let[@inline] cells slot =
+    let a = Domain.DLS.get cells_key in
+    if slot < Array.length a then a else grow slot
+
+  let[@inline] incr t =
+    let a = cells t.slot in
+    Array.unsafe_set a t.slot (Array.unsafe_get a t.slot + 1)
+
+  let[@inline] add t n =
+    let a = cells t.slot in
+    Array.unsafe_set a t.slot (Array.unsafe_get a t.slot + n)
+
+  let value t =
+    let a = Domain.DLS.get cells_key in
+    if t.slot < Array.length a then a.(t.slot) else 0
+
+  let name t = t.name
 end
 
 (* ------------------------------------------------------------------ *)
@@ -60,8 +122,8 @@ module Histogram = struct
      output is reproducible run to run (for deterministic inputs). *)
   let reservoir_cap = 512
 
-  type t = {
-    h_name : string;
+  (* The domain-local mutable state of one histogram. *)
+  type state = {
     mutable count : int;
     mutable sum : float;
     mutable min : float;
@@ -72,61 +134,101 @@ module Histogram = struct
     mutable pending : int;
   }
 
+  type t = { h_name : string; h_slot : int }
+
   let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+  let next_slot = ref 0
+
+  let fresh_state () =
+    { count = 0; sum = 0.; min = infinity; max = neg_infinity;
+      samples = Array.make reservoir_cap 0.; kept = 0; stride = 1;
+      pending = 0 }
+
+  let states_key : state array Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> [||])
 
   let make name =
-    match Hashtbl.find_opt registry name with
-    | Some h -> h
-    | None ->
-      let h = { h_name = name; count = 0; sum = 0.; min = infinity;
-                max = neg_infinity;
-                samples = Array.make reservoir_cap 0.; kept = 0;
-                stride = 1; pending = 0 }
-      in
-      Hashtbl.add registry name h;
-      h
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some h -> h
+        | None ->
+          let h = { h_name = name; h_slot = !next_slot } in
+          incr next_slot;
+          Hashtbl.add registry name h;
+          h)
 
-  let keep h x =
-    if h.kept = reservoir_cap then begin
+  let[@inline never] grow slot =
+    let a = Domain.DLS.get states_key in
+    let n = max (slot + 1) (max (2 * Array.length a) 16) in
+    let b = Array.init n (fun i ->
+        if i < Array.length a then a.(i) else fresh_state ())
+    in
+    Domain.DLS.set states_key b;
+    b
+
+  let state h =
+    let a = Domain.DLS.get states_key in
+    let a = if h.h_slot < Array.length a then a else grow h.h_slot in
+    a.(h.h_slot)
+
+  let keep s x =
+    if s.kept = reservoir_cap then begin
       let half = reservoir_cap / 2 in
       for i = 0 to half - 1 do
-        h.samples.(i) <- h.samples.(2 * i)
+        s.samples.(i) <- s.samples.(2 * i)
       done;
-      h.kept <- half;
-      h.stride <- h.stride * 2
+      s.kept <- half;
+      s.stride <- s.stride * 2
     end;
-    h.samples.(h.kept) <- x;
-    h.kept <- h.kept + 1
+    s.samples.(s.kept) <- x;
+    s.kept <- s.kept + 1
 
-  let observe h x =
-    h.count <- h.count + 1;
-    h.sum <- h.sum +. x;
-    if x < h.min then h.min <- x;
-    if x > h.max then h.max <- x;
-    h.pending <- h.pending + 1;
-    if h.pending >= h.stride then begin
-      h.pending <- 0;
-      keep h x
+  (* Push one value through the decimating reservoir only — used by
+     [observe] and by shard absorption (which merges count/sum/min/max
+     exactly and re-feeds the kept samples). *)
+  let keep_sample s x =
+    s.pending <- s.pending + 1;
+    if s.pending >= s.stride then begin
+      s.pending <- 0;
+      keep s x
     end
 
+  let observe h x =
+    let s = state h in
+    s.count <- s.count + 1;
+    s.sum <- s.sum +. x;
+    if x < s.min then s.min <- x;
+    if x > s.max then s.max <- x;
+    keep_sample s x
+
   let name h = h.h_name
-  let count h = h.count
-  let sum h = h.sum
-  let mean h = if h.count = 0 then 0. else h.sum /. float_of_int h.count
-  let minimum h = if h.count = 0 then 0. else h.min
-  let maximum h = if h.count = 0 then 0. else h.max
+  let count h = (state h).count
+  let sum h = (state h).sum
+
+  let mean h =
+    let s = state h in
+    if s.count = 0 then 0. else s.sum /. float_of_int s.count
+
+  let minimum h =
+    let s = state h in
+    if s.count = 0 then 0. else s.min
+
+  let maximum h =
+    let s = state h in
+    if s.count = 0 then 0. else s.max
 
   (* Nearest-rank percentile over the sorted kept samples. *)
   let percentile h p =
-    if h.kept = 0 then 0.
+    let s = state h in
+    if s.kept = 0 then 0.
     else begin
-      let sorted = Array.sub h.samples 0 h.kept in
+      let sorted = Array.sub s.samples 0 s.kept in
       Array.sort Float.compare sorted;
       let rank =
-        int_of_float (ceil (p /. 100. *. float_of_int h.kept)) - 1
+        int_of_float (ceil (p /. 100. *. float_of_int s.kept)) - 1
       in
       let rank = if rank < 0 then 0 else rank in
-      let rank = if rank > h.kept - 1 then h.kept - 1 else rank in
+      let rank = if rank > s.kept - 1 then s.kept - 1 else rank in
       sorted.(rank)
     end
 end
@@ -138,6 +240,8 @@ end
    data.                                                               *)
 
 module Span = struct
+  (* Configure the clock before spawning worker domains; it is read
+     concurrently afterwards. *)
   let clock = ref Sys.time
 
   let set_clock f = clock := f
@@ -159,9 +263,16 @@ end
 
 type snapshot = (string * int) list
 
+let counter_handles () =
+  locked (fun () ->
+      Hashtbl.fold (fun _ c acc -> c :: acc) Counter.registry [])
+
 let snapshot () : snapshot =
-  Hashtbl.fold (fun name c acc -> (name, c.Counter.v) :: acc)
-    Counter.registry []
+  let cells = Domain.DLS.get Counter.cells_key in
+  let len = Array.length cells in
+  counter_handles ()
+  |> List.map (fun (c : Counter.t) ->
+         c.name, if c.slot < len then cells.(c.slot) else 0)
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* Counters only ever grow (gauges aside), so [diff] reports the
@@ -178,7 +289,8 @@ let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
     after
 
 let histograms () =
-  Hashtbl.fold (fun _ h acc -> h :: acc) Histogram.registry []
+  locked (fun () ->
+      Hashtbl.fold (fun _ h acc -> h :: acc) Histogram.registry [])
   |> List.sort (fun a b ->
          String.compare a.Histogram.h_name b.Histogram.h_name)
 
@@ -187,14 +299,82 @@ let histograms () =
    [base.*] family.  This is what trace consumers and dashboards key
    on, and what the stability test snapshots. *)
 let counter_families () =
-  let stable =
-    Hashtbl.fold
-      (fun name _ acc ->
-        if Hashtbl.mem Counter.members name then acc else name :: acc)
-      Counter.registry []
+  locked (fun () ->
+      let stable =
+        Hashtbl.fold
+          (fun name _ acc ->
+            if Hashtbl.mem Counter.members name then acc else name :: acc)
+          Counter.registry []
+      in
+      let fams =
+        Hashtbl.fold (fun f () acc -> f :: acc) Counter.families []
+      in
+      List.sort String.compare (stable @ fams))
+
+(* ------------------------------------------------------------------ *)
+(* Shard export / merge                                                *)
+
+(* A worker domain's whole observability state, as finished data: the
+   nonzero counter cells and the non-empty histogram states, each keyed
+   by its (shared) handle.  [absorb] folds an export into the calling
+   domain's own cells; folding worker shards in worker-index order
+   makes the merge a deterministic function of the shard contents.
+   Counter merge is integer addition, so the totals are additionally
+   independent of how sessions were partitioned across workers;
+   histogram reservoirs are re-decimated, so percentile summaries are
+   deterministic for the given shards but — like any bounded sample —
+   approximate. *)
+type hexport = {
+  xh_count : int;
+  xh_sum : float;
+  xh_min : float;
+  xh_max : float;
+  xh_samples : float array;  (* kept samples, oldest first *)
+}
+
+type export = {
+  x_counters : (Counter.t * int) list;  (* sorted by name *)
+  x_hists : (Histogram.t * hexport) list;  (* sorted by name *)
+}
+
+let export () =
+  let cells = Domain.DLS.get Counter.cells_key in
+  let len = Array.length cells in
+  let x_counters =
+    counter_handles ()
+    |> List.filter_map (fun (c : Counter.t) ->
+           if c.slot < len && cells.(c.slot) <> 0 then
+             Some (c, cells.(c.slot))
+           else None)
+    |> List.sort (fun ((a : Counter.t), _) (b, _) ->
+           String.compare a.name b.name)
   in
-  let fams = Hashtbl.fold (fun f () acc -> f :: acc) Counter.families [] in
-  List.sort String.compare (stable @ fams)
+  let x_hists =
+    histograms ()
+    |> List.filter_map (fun h ->
+           let s = Histogram.state h in
+           if s.Histogram.count = 0 then None
+           else
+             Some
+               ( h,
+                 { xh_count = s.Histogram.count; xh_sum = s.Histogram.sum;
+                   xh_min = s.Histogram.min; xh_max = s.Histogram.max;
+                   xh_samples = Array.sub s.Histogram.samples 0
+                       s.Histogram.kept } ))
+  in
+  { x_counters; x_hists }
+
+let absorb x =
+  List.iter (fun (c, v) -> Counter.add c v) x.x_counters;
+  List.iter
+    (fun (h, xs) ->
+      let s = Histogram.state h in
+      s.Histogram.count <- s.Histogram.count + xs.xh_count;
+      s.Histogram.sum <- s.Histogram.sum +. xs.xh_sum;
+      if xs.xh_min < s.Histogram.min then s.Histogram.min <- xs.xh_min;
+      if xs.xh_max > s.Histogram.max then s.Histogram.max <- xs.xh_max;
+      Array.iter (Histogram.keep_sample s) xs.xh_samples)
+    x.x_hists
 
 (* ------------------------------------------------------------------ *)
 (* Structured-event trace sink                                         *)
@@ -202,15 +382,22 @@ let counter_families () =
 module Trace = struct
   type sink = Noop | Line of (string -> unit)
 
-  let sink = ref Noop
-  let step = ref 0
+  (* One sink and step index per domain: a fleet worker traces its own
+     session into its own buffer without synchronizing with anyone. *)
+  type state = { mutable sink : sink; mutable step : int }
+
+  let state_key : state Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> { sink = Noop; step = 0 })
+
+  let[@inline] state () = Domain.DLS.get state_key
 
   let[@inline] enabled () =
-    match !sink with Noop -> false | Line _ -> true
+    match (state ()).sink with Noop -> false | Line _ -> true
 
   let install line =
-    sink := Line line;
-    step := 0
+    let st = state () in
+    st.sink <- Line line;
+    st.step <- 0
 
   let to_channel oc =
     install (fun l ->
@@ -222,9 +409,9 @@ module Trace = struct
         Buffer.add_string b l;
         Buffer.add_char b '\n')
 
-  let disable () = sink := Noop
+  let disable () = (state ()).sink <- Noop
 
-  let steps () = !step
+  let steps () = (state ()).step
 
   let add_escaped buf s =
     String.iter
@@ -249,12 +436,13 @@ module Trace = struct
       Buffer.add_char buf '"'
 
   let emit ev fields =
-    match !sink with
+    let st = state () in
+    match st.sink with
     | Noop -> ()
     | Line out ->
       let buf = Buffer.create 128 in
       Buffer.add_string buf "{\"step\":";
-      Buffer.add_string buf (string_of_int !step);
+      Buffer.add_string buf (string_of_int st.step);
       Buffer.add_string buf ",\"ev\":\"";
       add_escaped buf ev;
       Buffer.add_char buf '"';
@@ -266,6 +454,6 @@ module Trace = struct
           add_value buf v)
         fields;
       Buffer.add_char buf '}';
-      incr step;
+      st.step <- st.step + 1;
       out (Buffer.contents buf)
 end

@@ -2,13 +2,23 @@
     and a pluggable structured-event sink.
 
     Overhead discipline: the library must be free when observability is
-    off.  {!Counter.incr} is one unboxed field write — cheap enough for
-    per-instruction paths.  {!Trace.emit} does nothing under the no-op
-    sink, and call sites are expected to guard with {!Trace.enabled}
-    before building field lists so the disabled path allocates nothing.
-    Wall-clock time never enters the trace (only a monotone step
-    index), so traces of a deterministic simulation are byte-identical
-    across runs. *)
+    off.  {!Counter.incr} is one domain-local array store — cheap
+    enough for per-instruction paths.  {!Trace.emit} does nothing under
+    the no-op sink, and call sites are expected to guard with
+    {!Trace.enabled} before building field lists so the disabled path
+    allocates nothing.  Wall-clock time never enters the trace (only a
+    monotone step index), so traces of a deterministic simulation are
+    byte-identical across runs.
+
+    Multi-domain model: counter and histogram {e handles} are global —
+    registered once by name, so every domain agrees on the observable
+    surface — but every mutable cell (counter values, histogram state,
+    the trace sink and its step index) is domain-local.  A domain only
+    ever reads and writes its own cells: increments never contend,
+    traces never interleave, and {!snapshot}/{!diff} describe the
+    calling domain alone.  Worker domains hand their finished state to
+    a coordinator with {!export}; {!absorb} folds shards into the
+    calling domain deterministically (see below). *)
 
 (** A structured field value for trace events. *)
 type value = Int of int | Str of string | Bool of bool
@@ -76,6 +86,7 @@ type snapshot = (string * int) list
 (** Counter values, sorted by name. *)
 
 val snapshot : unit -> snapshot
+(** The calling domain's counter values. *)
 
 val diff : before:snapshot -> after:snapshot -> snapshot
 (** [diff ~before ~after] is the per-interval activity [after - before],
@@ -91,10 +102,35 @@ val counter_families : unit -> string list
     Snapshotted by the counter-name stability test — renaming a
     counter breaks trace consumers and must show up in CI. *)
 
-(** The structured-event sink.  Exactly one global sink: the no-op
-    backend (default, near-zero overhead) or a JSONL line writer.
+(** {2 Shard export and deterministic merge}
+
+    A fleet worker domain accumulates counters, histograms and traces
+    into its own cells; when it stops, the coordinator folds the
+    worker shards into its own state.  Folding in worker-index order
+    makes the merge a deterministic function of the shard contents:
+    counter merge is integer addition (so totals are also independent
+    of how sessions were partitioned across workers); histogram merge
+    is exact for count/sum/min/max and re-decimates the bounded
+    percentile reservoirs (deterministic, but — like any bounded
+    sample — approximate). *)
+
+type export
+(** One domain's observability state as finished data: its nonzero
+    counters and non-empty histograms. *)
+
+val export : unit -> export
+(** Capture the calling domain's state.  Cheap enough to call once per
+    worker lifetime; not meant for per-session use ({!snapshot} is). *)
+
+val absorb : export -> unit
+(** Fold an exported shard into the calling domain's own cells. *)
+
+(** The structured-event sink.  Exactly one sink {e per domain}: the
+    no-op backend (default, near-zero overhead) or a JSONL line writer.
     Every emitted event carries a monotone [step] index, reset to 0
-    when a sink is installed. *)
+    when a sink is installed.  Installing a sink affects only the
+    calling domain, so fleet workers trace concurrent sessions into
+    disjoint buffers. *)
 module Trace : sig
   val enabled : unit -> bool
   (** Guard allocation-heavy emission sites on this. *)

@@ -59,12 +59,15 @@ let resource_values trust (r : Harrier.Events.resource) =
     "resource_origin_name", Value.Str oname;
     "resource_origin_type", Value.Sym otype ]
 
-(* join key linking a data_transfer fact to its transfer_source facts *)
-let xfer_counter = ref 0
-
-let next_xfer () =
-  incr xfer_counter;
-  !xfer_counter
+(* Join key linking a data_transfer fact to its transfer_source facts.
+   The counter is caller-owned (one per Secpert instance, so per
+   session): ids only need to be unique within one working memory, and
+   keeping the state session-scoped means concurrent fleet workers
+   never share a cell and warm runs allocate the same ids as cold
+   ones. *)
+let next_xfer xfer =
+  incr xfer;
+  !xfer
 
 let meta_values (m : Harrier.Events.meta) =
   [ "time", Value.Int m.time; "frequency", Value.Int m.freq;
@@ -78,7 +81,7 @@ let source_entry trust (src, name_origin) =
       Value.Str (Option.value (Taint.Source.resource_name src) ~default:"");
       Value.Sym otype; Value.Str oname ]
 
-let assert_event engine trust (e : Harrier.Events.t) =
+let assert_event ?(xfer = ref 0) engine trust (e : Harrier.Events.t) =
   match e with
   | Exec { path; argv; meta } ->
     Engine.assert_fact engine t_system_call_access
@@ -122,7 +125,7 @@ let assert_event engine trust (e : Harrier.Events.t) =
           "server_origin_name", Value.Str oname ]
     in
     Engine.assert_fact engine t_data_transfer
-      ([ "xfer", Value.Int (next_xfer ());
+      ([ "xfer", Value.Int (next_xfer xfer);
          "call", Value.Sym call; "head", Value.Str head;
          "sources", Value.Lst (List.map (source_entry trust) sources);
          "target_name", Value.Str target.r_name;
@@ -137,8 +140,8 @@ let assert_event engine trust (e : Harrier.Events.t) =
 (* Assert an event plus, for transfers, one [transfer_source] fact per
    data source (joined on the transfer's own fact id) — the encoding the
    textual CLIPS policy pattern-matches against. *)
-let assert_event_full engine trust (e : Harrier.Events.t) =
-  let main = assert_event engine trust e in
+let assert_event_full ?xfer engine trust (e : Harrier.Events.t) =
+  let main = assert_event ?xfer engine trust e in
   match e with
   | Transfer { sources; meta; _ } ->
     let xfer =

@@ -25,6 +25,7 @@ type t = {
   mutable dropped : int;  (* raised but not stored (cap) *)
   mutable wm_peak : int;
   mutable wm_tripped : bool;
+  xfer : int ref;  (* per-instance transfer join-id counter *)
 }
 
 let c_warnings = Obs.Counter.make "secpert.warnings"
@@ -41,7 +42,8 @@ let create_from ?(trust = Trust.default)
     { engine; trust; policy = compiled.c_policy; auto_kill;
       warning_cap = cap warning_cap;
       wm_budget = cap wm_budget; warnings = []; fresh = []; count = 0;
-      max_sev = None; dropped = 0; wm_peak = 0; wm_tripped = false }
+      max_sev = None; dropped = 0; wm_peak = 0; wm_tripped = false;
+      xfer = ref 0 }
   in
   let ctx =
     { Context.trust; thresholds;
@@ -115,8 +117,8 @@ let handle_event t event =
   t.fresh <- [];
   let facts =
     match t.policy with
-    | Native -> [ Facts.assert_event t.engine t.trust event ]
-    | Clips -> Facts.assert_event_full t.engine t.trust event
+    | Native -> [ Facts.assert_event ~xfer:t.xfer t.engine t.trust event ]
+    | Clips -> Facts.assert_event_full ~xfer:t.xfer t.engine t.trust event
   in
   ignore (Expert.Engine.run t.engine);
   List.iter (Expert.Engine.retract t.engine) facts;

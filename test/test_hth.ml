@@ -30,6 +30,7 @@ let () =
       "chaos", Test_chaos.suite;
       "golden", Test_golden.suite;
       "forensics", Test_forensics.suite;
+      "fleet", Test_fleet.suite;
       "table1",
       [ Alcotest.test_case "smoke" `Quick
           (run_group Guest.Characterize.scenarios) ];
