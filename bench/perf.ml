@@ -58,6 +58,7 @@ let policy_tests () =
         sources =
           [ Taint.Source.File "/a",
             (Taint.Tagset.singleton sp) (Taint.Source.Binary "/mal") ];
+        guard = [];
         target =
           { r_kind = Harrier.Events.R_file; r_name = "/t";
             r_origin = (Taint.Tagset.singleton sp) (Taint.Source.Binary "/mal") };

@@ -331,8 +331,31 @@ let run_outcome eng ?(budgets = no_budgets) ?(fault = Osim.Fault.none) s =
         | exception e ->
           fail (Error.Crash { phase = "run"; exn = Printexc.to_string e })
         | os_report ->
+          (* A run that consumed its whole tick budget with processes
+             still live was truncated, not completed: a dormant program
+             whose trigger never arrived within the budget must come
+             back degraded, never silently "clean and done". *)
+          let live =
+            List.filter
+              (fun (_, _, st) ->
+                match (st : Osim.Process.run_state) with
+                | Exited _ | Killed _ -> false
+                | Runnable | Sleeping _ | Waiting_io -> true)
+              os_report.Osim.Kernel.rep_final
+          in
+          let truncated =
+            if os_report.Osim.Kernel.rep_ticks >= max_ticks && live <> []
+            then
+              [ Fmt.str
+                  "tick budget: run truncated at %d ticks with %d live \
+                   process(es) — verdict covers the observed prefix only"
+                  os_report.Osim.Kernel.rep_ticks (List.length live) ]
+            else []
+          in
           let degraded =
-            Harrier.Monitor.degraded monitor @ Secpert.System.degraded secpert
+            Harrier.Monitor.degraded monitor
+            @ Secpert.System.degraded secpert
+            @ truncated
           in
           note_outcome (if degraded = [] then "ok" else "degraded");
           let stats = Obs.diff ~before ~after:(Obs.snapshot ()) in

@@ -45,14 +45,18 @@ let sexp_of_event (e : Harrier.Events.t) =
     List
       [ Atom "alloc"; Atom (string_of_int requested);
         Atom (string_of_int total); sexp_of_meta meta ]
-  | Transfer { call; data; head; sources; target; via_server; len; meta } ->
+  | Transfer { call; data; head; sources; guard; target; via_server; len;
+               meta } ->
+    let annotated l =
+      List
+        (List.map
+           (fun (src, origin) ->
+             List [ sexp_of_source src; sexp_of_tagset origin ])
+           l)
+    in
     List
       [ Atom "transfer"; Atom call; sexp_of_tagset data; Quoted head;
-        List
-          (List.map
-             (fun (src, origin) ->
-               List [ sexp_of_source src; sexp_of_tagset origin ])
-             sources);
+        annotated sources; annotated guard;
         sexp_of_resource target;
         (match via_server with
          | None -> Atom "none"
@@ -132,6 +136,24 @@ let event_of_sexp sp = function
         meta = meta_of_sexp meta }
   | List
       [ Atom "transfer"; Atom call; data; Quoted head; List sources;
+        List guard; target; server; len; meta ] ->
+    let annotated =
+      List.map (function
+        | List [ src; origin ] -> source_of_sexp src, tagset_of_sexp sp origin
+        | f -> err "trace: bad transfer source %a" pp f)
+    in
+    Harrier.Events.Transfer
+      { call; data = tagset_of_sexp sp data; head;
+        sources = annotated sources; guard = annotated guard;
+        target = resource_of_sexp sp target;
+        via_server =
+          (match server with
+           | Atom "none" -> None
+           | s -> Some (resource_of_sexp sp s));
+        len = int_of_atom len; meta = meta_of_sexp meta }
+  (* pre-dormancy traces: nine-field transfers, no guard *)
+  | List
+      [ Atom "transfer"; Atom call; data; Quoted head; List sources;
         target; server; len; meta ] ->
     Harrier.Events.Transfer
       { call; data = tagset_of_sexp sp data; head;
@@ -142,6 +164,7 @@ let event_of_sexp sp = function
                 source_of_sexp src, tagset_of_sexp sp origin
               | f -> err "trace: bad transfer source %a" pp f)
             sources;
+        guard = [];
         target = resource_of_sexp sp target;
         via_server =
           (match server with

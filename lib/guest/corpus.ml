@@ -7,7 +7,9 @@ let groups =
     "table8", "Real exploits", Exploits.scenarios;
     "macro", "Macro benchmarks", Macro.scenarios;
     "extensions", "Future-work extensions (Section 10)",
-    Extensions.scenarios ]
+    Extensions.scenarios;
+    "dormant", "Dormant trojans (trigger-gated payloads)",
+    Dormant.scenarios ]
 
 let all = List.concat_map (fun (_, _, scs) -> scs) groups
 

@@ -16,3 +16,10 @@
     of [insn].  [imm_tag] is the BINARY tag of the executing image. *)
 val step :
   Shadow.t -> Vm.Machine.t -> imm_tag:Taint.Tagset.t -> Isa.Insn.t -> unit
+
+(** [operand_tag shadow machine imm_tag size op] is the taint currently
+    carried by [op] (immediates read [imm_tag]).  Exposed for the
+    monitor's compare-guard tracking. *)
+val operand_tag :
+  Shadow.t -> Vm.Machine.t -> Taint.Tagset.t -> Isa.Insn.size ->
+  Isa.Operand.t -> Taint.Tagset.t

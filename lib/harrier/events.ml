@@ -24,6 +24,9 @@ type t =
       data : Taint.Tagset.t;
       head : string;
       sources : (Taint.Source.t * Taint.Tagset.t) list;
+      guard : (Taint.Source.t * Taint.Tagset.t) list;
+          (** taint of the most recent tainted compare: the data that
+              steered control flow to this transfer (trigger input) *)
       target : resource;
       via_server : resource option;
       len : int;
@@ -60,7 +63,7 @@ let pp ppf = function
     Fmt.pf ppf "@[brk requested=0x%x total=%d %a@]" requested total pp_meta
       meta
   | Transfer { call; data; target; via_server; len; meta; sources = _;
-               head = _ } ->
+               head = _; guard = _ } ->
     Fmt.pf ppf "@[%s %d bytes data=%a -> %a%a %a@]" call len Taint.Tagset.pp
       data pp_resource target
       Fmt.(option (any " via server " ++ pp_resource))

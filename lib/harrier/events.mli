@@ -48,6 +48,11 @@ type t =
           (** each data source paired with the origin of {e its} resource
               name (how the source file/socket was itself named), empty
               for USER_INPUT / BINARY / HARDWARE sources *)
+      guard : (Taint.Source.t * Taint.Tagset.t) list;
+          (** taint of the most recent {e tainted} compare/test in this
+              process — the data that last steered control flow toward
+              this transfer.  A SOCKET entry here marks trigger-gated
+              (dormant) behaviour: remote bytes armed the path. *)
       target : resource;
       via_server : resource option;
           (** for accepted connections: the listening socket (name = local

@@ -37,6 +37,12 @@ type pstate = {
   mutable pending_origin : Taint.Tagset.t option;
       (** origin of the resource name seen at the pre-syscall hook,
           attached to the fd at the post hook *)
+  mutable guard : Taint.Tagset.t;
+      (** operand taint of the most recent {e tainted} compare/test —
+          the data that last steered a conditional branch.  Untainted
+          compares (loop counters, literals) do not clear it, so a
+          trigger check survives the bookkeeping between the compare
+          and the armed payload's transfer. *)
   mutable seg_info : seg_info option;  (* one-entry instruction cache *)
 }
 
@@ -266,8 +272,27 @@ let hook_insn t m addr insn =
         | None -> ())
      | Ret -> Shortcircuit.on_ret s.sc m s.shadow
      | _ -> ());
-    if t.cfg.track_dataflow then
+    if t.cfg.track_dataflow then begin
+      (* guard taint: immediates use an empty tag on purpose — only
+         {e data} taint reaching a compare marks trigger-gated flow *)
+      (match (insn : Isa.Insn.t) with
+       | Cmp (sz, a, b) ->
+         let tag =
+           Taint.Tagset.union t.space
+             (Dataflow.operand_tag s.shadow m Taint.Tagset.empty sz a)
+             (Dataflow.operand_tag s.shadow m Taint.Tagset.empty sz b)
+         in
+         if not (Taint.Tagset.is_empty tag) then s.guard <- tag
+       | Test (a, b) ->
+         let tag =
+           Taint.Tagset.union t.space
+             (Dataflow.operand_tag s.shadow m Taint.Tagset.empty Isa.Insn.W a)
+             (Dataflow.operand_tag s.shadow m Taint.Tagset.empty Isa.Insn.W b)
+         in
+         if not (Taint.Tagset.is_empty tag) then s.guard <- tag
+       | _ -> ());
       Dataflow.step s.shadow m ~imm_tag:(seg_info_at t s m addr).si_tag insn
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Kernel callbacks                                                    *)
@@ -280,7 +305,7 @@ let on_process_start t (p : Osim.Process.t) =
       shadow =
         Shadow.create ?page_budget:t.cfg.shadow_page_budget ~space:t.space ();
       sc = Shortcircuit.create t.cfg.shortcircuit; pending_origin = None;
-      seg_info = None }
+      guard = Taint.Tagset.empty; seg_info = None }
   in
   t.pmap <- (p.machine, s) :: t.pmap;
   Freq.reset t.freq ~pid:p.pid;
@@ -318,7 +343,7 @@ let on_fork t ~(parent : Osim.Process.t) ~(child : Osim.Process.t) =
     let cs =
       { pid = child.pid; shadow = Shadow.clone ps.shadow;
         sc = Shortcircuit.clone ps.sc; pending_origin = ps.pending_origin;
-        seg_info = ps.seg_info }
+        guard = ps.guard; seg_info = ps.seg_info }
     in
     (* the child's eax holds fork's result, written by the kernel *)
     Shadow.set_reg cs.shadow EAX Taint.Tagset.empty;
@@ -397,7 +422,7 @@ let on_pre_syscall t (p : Osim.Process.t) (sc : Osim.Syscall.t) =
     in
     let target = Resources.resource_of t.resources ~pid ~fd ~fallback:res in
     let via_server = Resources.server_of t.resources ~pid ~fd in
-    let sources =
+    let annotate tags =
       List.map
         (fun src ->
           let origin =
@@ -409,12 +434,16 @@ let on_pre_syscall t (p : Osim.Process.t) (sc : Osim.Syscall.t) =
             | None -> Taint.Tagset.empty
           in
           src, origin)
-        (Taint.Tagset.to_list data)
+        (Taint.Tagset.to_list tags)
+    in
+    let sources = annotate data in
+    let guard =
+      if t.cfg.track_dataflow then annotate s.guard else []
     in
     emit t
       (Events.Transfer
-         { call = "SYS_write"; data; head; sources; target; via_server;
-           len; meta = meta t s })
+         { call = "SYS_write"; data; head; sources; guard; target;
+           via_server; len; meta = meta t s })
   | Read _ | Close _ | Exit _ | Time | Getpid | Dup _ | Nanosleep _
   | Socket | Listen _ | Accept _ | Unknown _ -> Osim.Kernel.Allow
 

@@ -392,7 +392,7 @@ let execute k (p : Process.t) (sc : Syscall.t) : exec_result =
      | Some (Fd_sock sock) ->
        (match sock.state with
         | Connected c ->
-          Net.guest_send c data;
+          Net.guest_send k.k_net c data;
           Done len
         | Fresh | Bound _ | Listening _ | Closed -> Done (-Abi.einval)))
   | Open { path; flags; _ } ->
@@ -653,6 +653,8 @@ let run k ~max_ticks =
     let live = List.filter Process.is_live k.procs in
     if live = [] || k.k_ticks >= max_ticks then running := false
     else begin
+      (* deliver Delay-gated script steps whose deadline passed *)
+      Net.tick k.k_net k.k_ticks;
       (* wake sleepers whose deadline passed *)
       List.iter
         (fun (p : Process.t) ->
@@ -674,6 +676,14 @@ let run k ~max_ticks =
             (fun (p : Process.t) ->
               match p.state with Sleeping t -> Some t | _ -> None)
             live
+        in
+        (* a pending network Delay also counts as a wake source: a
+           guest blocked on recv is not "blocked forever" when a
+           scripted delivery is merely late *)
+        let wakes =
+          match Net.next_wake k.k_net with
+          | Some w -> w :: wakes
+          | None -> wakes
         in
         match wakes with
         | [] ->

@@ -1,6 +1,8 @@
 type step =
   | Send of string
   | Expect of int
+  | Expect_str of string
+  | Delay of int
   | Close
 
 type actor = {
@@ -20,7 +22,9 @@ and conn = {
   local_name : string;
   mutable inbox : string;
   mutable sent : int;
+  mutable outbox : string;
   mutable remaining : step list;
+  mutable wake : int option;
   mutable remote_closed : bool;
   server_side : bool;
 }
@@ -35,11 +39,14 @@ type t = {
   mutable next_sock : int;
   mutable conns : conn list;
   mutable next_ephemeral : int;
+  mutable now : int;
 }
+
+let c_delivered = Obs.Counter.make "osim.net.delayed_deliveries"
 
 let create () =
   { dns = []; servers = []; incoming = []; sockets = []; next_sock = 1;
-    conns = []; next_ephemeral = 36000 }
+    conns = []; next_ephemeral = 36000; now = 0 }
 
 let add_host t name ip = t.dns <- (name, ip) :: t.dns
 
@@ -85,31 +92,70 @@ let new_socket t =
 
 let socket_by_id t id = List.find_opt (fun s -> s.sock_id = id) t.sockets
 
-(* Advance the remote script as far as possible. *)
-let rec progress conn =
+let find_sub hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  if nl = 0 then Some 0
+  else
+    let rec go i =
+      if i + nl > hl then None
+      else if String.equal (String.sub hay i nl) needle then Some i
+      else go (i + 1)
+    in
+    go 0
+
+(* Advance the remote script as far as possible.  [Delay] and
+   [Expect_str] are the dormancy primitives: a step that completes only
+   once simulated time reaches a deadline, and one that completes only
+   once the guest's outbound bytes contain an exact string. *)
+let rec progress t conn =
   match conn.remaining with
   | [] -> ()
   | Send s :: rest ->
     conn.inbox <- conn.inbox ^ s;
     conn.remaining <- rest;
-    progress conn
+    progress t conn
   | Expect n :: rest ->
     if conn.sent >= n then begin
       conn.sent <- conn.sent - n;
       conn.remaining <- rest;
-      progress conn
+      progress t conn
     end
+  | Expect_str s :: rest ->
+    (match find_sub conn.outbox s with
+     | Some i ->
+       let stop = i + String.length s in
+       conn.outbox <-
+         String.sub conn.outbox stop (String.length conn.outbox - stop);
+       conn.remaining <- rest;
+       progress t conn
+     | None -> ())
+  | Delay d :: rest ->
+    (match conn.wake with
+     | None -> conn.wake <- Some (t.now + max 1 d)
+     | Some w ->
+       if t.now >= w then begin
+         conn.wake <- None;
+         conn.remaining <- rest;
+         Obs.Counter.incr c_delivered;
+         progress t conn
+       end)
   | Close :: rest ->
     conn.remote_closed <- true;
     conn.remaining <- rest
 
+(* Only scripts that still contain an [Expect_str] need the guest's
+   outbound bytes retained for matching; everything else drops them so
+   chatty connections stay O(1) in memory. *)
+let wants_outbox conn =
+  List.exists (function Expect_str _ -> true | _ -> false) conn.remaining
+
 let make_conn t ~peer ~local_name ~script ~server_side =
   let conn =
-    { peer; local_name; inbox = ""; sent = 0; remaining = script;
-      remote_closed = false; server_side }
+    { peer; local_name; inbox = ""; sent = 0; outbox = ""; remaining = script;
+      wake = None; remote_closed = false; server_side }
   in
   t.conns <- conn :: t.conns;
-  progress conn;
+  progress t conn;
   conn
 
 let connect t sock ~ip ~port =
@@ -146,9 +192,10 @@ let accept t sock =
                ~server_side:true))
   | Fresh | Bound _ | Connected _ | Closed -> None
 
-let guest_send conn s =
+let guest_send t conn s =
   conn.sent <- conn.sent + String.length s;
-  progress conn
+  if wants_outbox conn then conn.outbox <- conn.outbox ^ s;
+  progress t conn
 
 let guest_recv conn n =
   let avail = String.length conn.inbox in
@@ -159,5 +206,18 @@ let guest_recv conn n =
     conn.inbox <- String.sub conn.inbox n (avail - n);
     chunk
   end
+
+let tick t now =
+  if now > t.now then t.now <- now;
+  List.iter (fun c -> if c.wake <> None then progress t c) t.conns
+
+let next_wake t =
+  List.fold_left
+    (fun acc c ->
+      match c.wake, acc with
+      | Some w, Some a -> Some (min w a)
+      | Some w, None -> Some w
+      | None, _ -> acc)
+    None t.conns
 
 let conn_log t = List.rev_map (fun c -> c.peer, c.sent) t.conns

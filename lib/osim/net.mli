@@ -13,6 +13,12 @@
 type step =
   | Send of string  (** push bytes towards the guest *)
   | Expect of int  (** wait until the guest has sent [n] more bytes *)
+  | Expect_str of string
+      (** wait until the guest's outbound bytes contain this exact
+          string (a protocol round keyed on content, not length) *)
+  | Delay of int
+      (** wait [n] simulated ticks before the next step — the dormancy
+          primitive: triggers arrive only after a long quiet period *)
   | Close  (** close the remote end *)
 
 type actor = {
@@ -33,7 +39,9 @@ and conn = {
   local_name : string;  (** e.g. ["LocalHost:11111"] *)
   mutable inbox : string;  (** bytes from remote, not yet recv'd *)
   mutable sent : int;  (** total bytes the guest has sent *)
+  mutable outbox : string;  (** guest bytes retained for [Expect_str] *)
   mutable remaining : step list;  (** rest of the actor script *)
+  mutable wake : int option;  (** deadline of a pending [Delay] step *)
   mutable remote_closed : bool;
   server_side : bool;  (** true when the guest accepted this connection *)
 }
@@ -82,13 +90,24 @@ val connect : t -> socket -> ip:int -> port:int -> conn option
     port, if one is queued. *)
 val accept : t -> socket -> conn option
 
-(** [guest_send conn s] delivers guest bytes to the remote and advances
+(** [guest_send t conn s] delivers guest bytes to the remote and advances
     its script. *)
-val guest_send : conn -> string -> unit
+val guest_send : t -> conn -> string -> unit
 
 (** [guest_recv conn n] takes up to [n] available bytes; [""] means
     no data yet (or EOF if [remote_closed]). *)
 val guest_recv : conn -> int -> string
+
+(** {2 Simulated time (used by the kernel scheduler)} *)
+
+(** [tick t now] advances the network clock to [now] (monotone) and
+    re-runs every script stalled on a [Delay] whose deadline passed. *)
+val tick : t -> int -> unit
+
+(** [next_wake t] is the earliest pending [Delay] deadline across all
+    connections, if any — the scheduler fast-forwards to it instead of
+    reaping guests blocked on a delivery that is merely late. *)
+val next_wake : t -> int option
 
 (** [conn_log t] lists every connection established so far, for reports:
     (peer, bytes the guest sent). *)

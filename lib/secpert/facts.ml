@@ -25,6 +25,7 @@ let deftemplates engine =
        [ slot ~default:(Value.Int 0) "xfer";
          slot "call"; slot ~default:(Value.Str "") "head";
          slot ~default:(Value.Lst []) "sources";
+         slot ~default:(Value.Lst []) "guard";
          slot "target_name"; slot "target_type"; slot "target_origin_name";
          slot "target_origin_type"; slot ~default:(Value.Sym "nil") "server";
          slot ~default:(Value.Sym "no") "server_side";
@@ -103,7 +104,7 @@ let assert_event ?(xfer = ref 0) engine trust (e : Harrier.Events.t) =
     Engine.assert_fact engine t_alloc_event
       ([ "requested", Value.Int requested; "total", Value.Int total ]
        @ meta_values meta)
-  | Transfer { call; sources; target; via_server; len; meta; head;
+  | Transfer { call; sources; guard; target; via_server; len; meta; head;
                data = _ } ->
     let t_otype, t_oname = origin_values trust target.r_origin in
     let server =
@@ -128,6 +129,7 @@ let assert_event ?(xfer = ref 0) engine trust (e : Harrier.Events.t) =
       ([ "xfer", Value.Int (next_xfer xfer);
          "call", Value.Sym call; "head", Value.Str head;
          "sources", Value.Lst (List.map (source_entry trust) sources);
+         "guard", Value.Lst (List.map (source_entry trust) guard);
          "target_name", Value.Str target.r_name;
          "target_type",
          Value.Sym (Harrier.Events.kind_name target.r_kind);

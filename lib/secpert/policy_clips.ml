@@ -188,6 +188,20 @@ let text =
   (warn check_content HIGH ?pid ?time (rarely ?freq ?time)
     "Found Write call to " ?tn
     " - EXECUTABLE content downloaded from the network"))
+
+;; trigger-gated (dormant) behaviour: a rarely-executed write whose
+;; control flow was steered by bytes that arrived over a socket
+(defrule check_trigger
+  (data_transfer (xfer ?x) (target_name ?tn) (target_type ?tt)
+    (guard ?guard)
+    (time ?time) (frequency ?freq) (pid ?pid))
+  (test (neq ?tt STDIO))
+  (test (rarely ?freq ?time))
+  (test (guard-tainted ?guard))
+  =>
+  (warn check_trigger HIGH ?pid ?time TRUE
+    "Found rarely-executed Write call to " ?tn
+    " - control flow steered by remote trigger bytes (dormant payload)"))
 |}
 
 open Expert
@@ -222,6 +236,9 @@ let install_forms engine (ctx : Context.t) forms =
   Engine.defun engine "looks-executable" (function
     | [ Value.Str head ] -> Value.of_bool (Policy_flow.looks_executable head)
     | _ -> failwith "looks-executable expects (head)");
+  Engine.defun engine "guard-tainted" (function
+    | [ v ] -> Value.of_bool (Policy_flow.untrusted_socket_guards ctx v <> [])
+    | _ -> failwith "guard-tainted expects (guard)");
   Engine.defun engine "warn" (function
     | Value.Sym rule :: Value.Sym sev :: Value.Int pid :: Value.Int time
       :: rare :: parts ->

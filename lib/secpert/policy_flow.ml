@@ -233,4 +233,80 @@ let check_write ctx =
   in
   Engine.rule ~name:"check_write" patterns action
 
-let register engine ctx = Engine.defrule engine (check_write ctx)
+(* Trigger-gated (dormant) behaviour: a transfer on a {e rarely
+   executed} path whose control flow was steered by remote bytes — the
+   payload stayed cold until a magic sequence from a socket armed it
+   (Section 4.4 infrequent-code reinforcement meeting tainted-input
+   control flow).  The guard predicate lives in the pattern so transfers
+   with no socket-tainted compare never produce an activation. *)
+let untrusted_socket_guards ctx v =
+  List.filter
+    (fun (s : Facts.source_info) ->
+      String.equal s.s_type "SOCKET"
+      && not
+           (Trust.is_trusted ctx.Context.trust (Taint.Source.Socket s.s_name)))
+    (Facts.decode_sources v)
+
+let check_trigger ctx =
+  let patterns =
+    [ Pattern.make Facts.t_data_transfer
+        [ "guard",
+          Pattern.Pred
+            ( "socket-tainted-guard",
+              fun v -> untrusted_socket_guards ctx v <> [] );
+          "target_name", Pattern.Var "tname";
+          "target_type", Pattern.Var "ttype";
+          "target_origin_name", Pattern.Var "toname";
+          "target_origin_type", Pattern.Var "totype";
+          "time", Pattern.Var "time";
+          "frequency", Pattern.Var "freq"; "pid", Pattern.Var "pid" ] ]
+  in
+  let action _engine bindings facts =
+    let target_type = Facts.get_sym bindings "ttype" in
+    let time = Facts.get_int bindings "time" in
+    let freq = Facts.get_int bindings "freq" in
+    if
+      (not (String.equal target_type "STDIO"))
+      && Context.rarely_executed ctx ~freq ~time
+    then begin
+      let triggers =
+        match facts with
+        | f :: _ ->
+          (match Fact.slot f "guard" with
+           | Some v -> untrusted_socket_guards ctx v
+           | None -> [])
+        | [] -> []
+      in
+      let target_name = Facts.get_str bindings "tname" in
+      let tgt_origin = Facts.get_sym bindings "totype" in
+      let tgt_origin_name = Facts.get_str bindings "toname" in
+      let pid = Facts.get_int bindings "pid" in
+      let origins =
+        List.map
+          (fun (s : Facts.source_info) ->
+            Evidence.origin ~role:"trigger" ~otype:s.s_type ~name:s.s_name
+              ~origin_type:s.s_origin_type ~origin_name:s.s_origin_name)
+          triggers
+        @ [ Evidence.origin ~role:"target" ~otype:target_type
+              ~name:target_name ~origin_type:tgt_origin
+              ~origin_name:tgt_origin_name ]
+      in
+      let trigger_names =
+        String.concat ", "
+          (List.map (fun (s : Facts.source_info) -> s.s_name) triggers)
+      in
+      ctx.Context.warn
+        (Warning.make ~severity:Severity.High ~rule:"check_trigger" ~pid
+           ~time ~rare:true ~origins
+           (Fmt.str
+              "Found rarely-executed Write call to %s\n\
+               \tControl flow leading here was steered by bytes from the \
+               SOCKET:(%S) - trigger-gated (dormant) behaviour"
+              target_name trigger_names))
+    end
+  in
+  Engine.rule ~name:"check_trigger" patterns action
+
+let register engine ctx =
+  Engine.defrule engine (check_write ctx);
+  Engine.defrule engine (check_trigger ctx)

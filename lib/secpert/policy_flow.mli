@@ -22,3 +22,10 @@ val register : Expert.Engine.t -> Context.t -> unit
 (** [looks_executable head] is the content-analysis magic check
     (MZ / ELF / shebang), shared with the textual CLIPS policy. *)
 val looks_executable : string -> bool
+
+(** [untrusted_socket_guards ctx v] decodes a [guard] slot value and
+    keeps the entries whose source is an untrusted SOCKET — the remote
+    bytes that steered control flow (shared with the textual CLIPS
+    policy's [guard-tainted] builtin). *)
+val untrusted_socket_guards :
+  Context.t -> Expert.Value.t -> Facts.source_info list

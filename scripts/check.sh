@@ -98,6 +98,43 @@ for i in 1 2 3; do
 done
 [ "$status" -eq 0 ] && echo "  ok: 3 repeated --jobs 4 sweeps identical"
 
+echo "== dormancy gate =="
+# Every dormant scenario's live trace must match its committed golden
+# byte for byte — the armed path must appear in triggered runs only —
+# and the triggered explain renderings (which cite the trigger input's
+# taint origin) must match their committed goldens (see DESIGN.md
+# "Dormant scenarios & trigger protocol").
+for s in "sleeper daemon idle" "sleeper daemon triggered" \
+         "sleeper daemon disarmed" "logic bomb idle" \
+         "logic bomb triggered" "logic bomb defused" \
+         "worm pair idle" "worm pair triggered" "worm pair recalled" \
+         "update client idle" "update client triggered" \
+         "update client rejected"; do
+  f=$(echo "$s" | tr ' ' '_')
+  dune exec bin/hth_run.exe -- run "$s" --trace "$tmp/$f.jsonl" >/dev/null
+  if cmp -s "test/golden/$f.jsonl" "$tmp/$f.jsonl"; then
+    echo "  ok: $s"
+  else
+    echo "  DORMANT TRACE DIVERGED FROM GOLDEN: $s" >&2
+    diff "test/golden/$f.jsonl" "$tmp/$f.jsonl" | head -10 >&2 || true
+    status=1
+  fi
+  case "$s" in
+  *triggered)
+    dune exec bin/hth_trace.exe -- explain "test/golden/$f.jsonl" \
+      > "$tmp/$f.explain"
+    if cmp -s "test/golden/$f.explain.txt" "$tmp/$f.explain"; then
+      echo "  ok: $s (explain)"
+    else
+      echo "  DORMANT EXPLAIN DIVERGED FROM GOLDEN: $s" >&2
+      diff "test/golden/$f.explain.txt" "$tmp/$f.explain" | head -10 >&2 \
+        || true
+      status=1
+    fi
+    ;;
+  esac
+done
+
 echo "== hth_serve smoke =="
 # A mixed request script (native, clips, faulted, malformed) served on
 # two workers: responses must come back in input order and be

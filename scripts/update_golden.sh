@@ -22,7 +22,19 @@ vixie crontab
 pma
 superforker
 ls
-column'
+column
+sleeper daemon idle
+sleeper daemon triggered
+sleeper daemon disarmed
+logic bomb idle
+logic bomb triggered
+logic bomb defused
+worm pair idle
+worm pair triggered
+worm pair recalled
+update client idle
+update client triggered
+update client rejected'
 fi
 
 dune build bin/hth_run.exe bin/hth_trace.exe

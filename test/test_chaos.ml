@@ -19,7 +19,12 @@ let seeds = [ 1; 2; 3; 7; 42 ]
 
 let quick_names =
   [ "pma"; "grabem"; "superforker"; "text download"; "vixie crontab";
-    "stealth dropper" ]
+    "stealth dropper";
+    (* trigger-gated payloads: faults on the trigger channel must
+       degrade or delay the arming, never escape or flip nondetermin-
+       istically *)
+    "sleeper daemon triggered"; "worm pair triggered";
+    "update client triggered" ]
 
 let full_corpus () =
   match Sys.getenv_opt "CHAOS_CORPUS" with

@@ -82,6 +82,7 @@ let test_clips_transfer_join () =
         sources =
           [ Taint.Source.File "/a",
             (Taint.Tagset.singleton sp) (Taint.Source.Binary "/mal") ];
+        guard = [];
         target =
           { r_kind = Harrier.Events.R_file; r_name = "/t";
             r_origin = (Taint.Tagset.singleton sp) (Taint.Source.Binary "/mal") };
@@ -97,6 +98,7 @@ let test_clips_content_rule () =
         data = (Taint.Tagset.singleton sp) (Taint.Source.Socket "h:1");
         head;
         sources = [ Taint.Source.Socket "h:1", Taint.Tagset.empty ];
+        guard = [];
         target =
           { r_kind = Harrier.Events.R_file; r_name = "/t";
             r_origin = Taint.Tagset.empty };

@@ -96,6 +96,7 @@ let test_content_magics () =
               head;
               sources =
                 [ Taint.Source.Socket "h:1", Taint.Tagset.empty ];
+              guard = [];
               target =
                 { r_kind = Harrier.Events.R_file; r_name = "/f";
                   r_origin = Taint.Tagset.empty };

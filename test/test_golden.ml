@@ -15,7 +15,14 @@ let golden_scenarios =
     "ElmExploit"; "nlspath"; "procex"; "grabem"; "vixie crontab"; "pma";
     "superforker";
     (* two trusted programs: goldens also pin the *absence* of events *)
-    "ls"; "column" ]
+    "ls"; "column";
+    (* dormant trojans: every family in all three modes, so the goldens
+       pin both the armed behaviour and the quiet modes' silence *)
+    "sleeper daemon idle"; "sleeper daemon triggered";
+    "sleeper daemon disarmed"; "logic bomb idle"; "logic bomb triggered";
+    "logic bomb defused"; "worm pair idle"; "worm pair triggered";
+    "worm pair recalled"; "update client idle"; "update client triggered";
+    "update client rejected" ]
 
 let golden_file name =
   let sanitized = String.map (fun c -> if c = ' ' then '_' else c) name in

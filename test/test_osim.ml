@@ -83,7 +83,7 @@ let test_net_connect_and_actor () =
      check_str "eager send" "hi" (Net.guest_recv conn 10);
      check_str "nothing yet" "" (Net.guest_recv conn 10);
      check "not closed yet" false conn.remote_closed;
-     Net.guest_send conn "ack";  (* satisfies Expect 3 *)
+     Net.guest_send net conn "ack";  (* satisfies Expect 3 *)
      check_str "scripted reply" "bye" (Net.guest_recv conn 10);
      check "closed after script" true conn.remote_closed)
 

@@ -602,12 +602,13 @@ let event_gen =
           Harrier.Events.Alloc { requested; total; meta })
         small_nat small_nat meta_gen;
       map3
-        (fun (data, head, sources) (target, via_server) (len, meta) ->
+        (fun (data, head, sources, guard) (target, via_server) (len, meta) ->
           Harrier.Events.Transfer
-            { call = "SYS_write"; data; head; sources; target; via_server;
-              len; meta })
-        (triple tagset_gen string
-           (list_size (int_bound 3) (pair source_gen tagset_gen)))
+            { call = "SYS_write"; data; head; sources; guard; target;
+              via_server; len; meta })
+        (quad tagset_gen string
+           (list_size (int_bound 3) (pair source_gen tagset_gen))
+           (list_size (int_bound 2) (pair source_gen tagset_gen)))
         (pair resource_gen (option resource_gen))
         (pair small_nat meta_gen) ]
 

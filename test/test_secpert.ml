@@ -130,6 +130,7 @@ let test_fact_encoding_transfer () =
     Harrier.Events.Transfer
       { call = "SYS_write"; data = tag_of [ file_a ]; head = "";
         sources = [ file_a, tag_of [ bin_mal ] ];
+        guard = [];
         target = sock_res ~origin:(tag_of [ bin_mal ]) "evil:80";
         via_server = None; len = 4; meta = meta () }
   in
@@ -220,8 +221,8 @@ let test_clone_thresholds () =
 let transfer ?(sources = []) ?(target = file_res "/t") ?via_server
     ?(data = Taint.Tagset.empty) ?(head = "") () =
   Harrier.Events.Transfer
-    { call = "SYS_write"; data; head; sources; target; via_server; len = 8;
-      meta = meta () }
+    { call = "SYS_write"; data; head; sources; guard = []; target;
+      via_server; len = 8; meta = meta () }
 
 let flow_sev ?via_server ~src ~src_origin ~target ~target_origin () =
   let e =

@@ -30,6 +30,7 @@ let test_roundtrip_binary_head () =
         data = (Taint.Tagset.singleton sp) (Taint.Source.Socket "h:1");
         head = "MZ\x90\x00\x01\xFF\n\t\"quoted\"";
         sources = [ Taint.Source.Socket "h:1", Taint.Tagset.empty ];
+        guard = [];
         target =
           { r_kind = Harrier.Events.R_file; r_name = "/t";
             r_origin = Taint.Tagset.empty };
