@@ -1,0 +1,81 @@
+(* hth_client: minimal Unix-socket client for hth_serve.
+
+     dune exec bin/hth_client.exe -- --socket /tmp/hth.sock < requests.jsonl
+
+   Sends every stdin line to the server, prints every response line to
+   stdout, exits when the server has answered them all (the write side
+   is shut down after the last request so the server sees EOF and
+   drains the connection).
+
+   --abort-after K disconnects abruptly after reading K responses —
+   the misbehaving-client scenario the serve-resilience gate uses to
+   prove one dying connection cannot take the fleet down. *)
+
+open Cmdliner
+
+let socket_arg =
+  let doc = "Unix socket the hth_serve instance listens on." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let abort_arg =
+  let doc =
+    "Close the connection abruptly after reading $(docv) response \
+     lines, leaving the remaining requests unanswered client-side."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "abort-after" ] ~docv:"K" ~doc)
+
+let main socket abort_after =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "hth_client: cannot connect to %s: %s\n%!" socket
+       (Unix.error_message e);
+     exit 1);
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  let writer =
+    Thread.create
+      (fun () ->
+        (try
+           let rec go () =
+             match In_channel.input_line stdin with
+             | None -> ()
+             | Some line ->
+               output_string oc line;
+               output_char oc '\n';
+               flush oc;
+               go ()
+           in
+           go ()
+         with _ -> ());
+        (* half-close: server reads EOF, answers what it admitted *)
+        try Unix.shutdown fd Unix.SHUTDOWN_SEND
+        with Unix.Unix_error _ -> ())
+      ()
+  in
+  let rec read n =
+    match abort_after with
+    | Some k when n >= k ->
+      (* the misbehaving client: vanish mid-stream *)
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      exit 0
+    | _ -> (
+      match In_channel.input_line ic with
+      | None -> n
+      | Some line ->
+        print_endline line;
+        read (n + 1))
+  in
+  ignore (read 0);
+  Thread.join writer;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let () =
+  let doc = "line-framed JSON client for hth_serve sockets" in
+  let info = Cmd.info "hth_client" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.v info Term.(const main $ socket_arg $ abort_arg)))

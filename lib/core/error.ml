@@ -3,6 +3,7 @@ type t =
   | Policy_error of string
   | Budget_exceeded of { what : string; limit : int }
   | Crash of { phase : string; exn : string }
+  | Timeout of { seconds : float }
 
 exception Error_exn of t
 
@@ -13,6 +14,8 @@ let to_string = function
   | Budget_exceeded { what; limit } ->
     Fmt.str "budget exceeded: %s (limit %d)" what limit
   | Crash { phase; exn } -> Fmt.str "crash in %s: %s" phase exn
+  | Timeout { seconds } ->
+    Fmt.str "timeout: exceeded %gs wall-clock deadline" seconds
 
 let pp ppf e = Fmt.string ppf (to_string e)
 
@@ -21,12 +24,14 @@ let kind = function
   | Policy_error _ -> "policy_error"
   | Budget_exceeded _ -> "budget_exceeded"
   | Crash _ -> "crash"
+  | Timeout _ -> "timeout"
 
 let exit_code = function
   | Load_failure _ -> 3
   | Policy_error _ -> 4
   | Budget_exceeded _ -> 5
   | Crash _ -> 6
+  | Timeout _ -> 7
 
 let () =
   Printexc.register_printer (function

@@ -18,14 +18,29 @@
    idle domains steal the cores from the domains doing the work (and
    drag every stop-the-world minor GC into a context-switch storm).
 
-   Observability: scheduler counters (fleet.tasks / steals / parks /
-   exceptions) are incremented between task executions, never inside
-   one, so they cannot leak into a session's per-run counter diff or
-   trace.  Each worker accumulates all its Obs state domain-locally;
-   at [shutdown] the shards are folded into the caller's domain in
-   worker-index order — a deterministic merge (see Obs.absorb). *)
+   Supervision: a domain cannot be killed, so a wedged worker (a task
+   that never returns) is *abandoned*: [respawn] bumps the slot's
+   epoch, writes the stuck task off the finished count, rescues
+   whatever still sits in the old deque, and spawns a replacement
+   domain on the same slot.  The abandoned domain, should its task
+   ever return, notices the stale epoch: its own claimed work is still
+   accounted (the write-off entry pays for exactly one in-flight task,
+   whichever one the epoch bump caught), it re-injects anything left
+   on its private deque, and it exits without touching the replacement
+   worker's state.  Tasks receive their worker's epoch so layers above
+   (the executor) can keep per-(slot, epoch) state — e.g. engine
+   forks — that a live replacement and a not-yet-dead ghost never
+   share.
 
-type task = int -> unit
+   Observability: scheduler counters (fleet.tasks / steals / parks /
+   exceptions / respawns) are incremented between task executions,
+   never inside one, so they cannot leak into a session's per-run
+   counter diff or trace.  Each worker accumulates all its Obs state
+   domain-locally; at [shutdown] the shards are folded into the caller
+   in worker-index order — a deterministic merge (see Obs.absorb).
+   An abandoned domain's shard is lost with it. *)
+
+type task = int -> int -> unit
 
 type stats = {
   executed : int;
@@ -33,6 +48,7 @@ type stats = {
   injected : int;
   parks : int;
   exceptions : int;
+  respawns : int;
 }
 
 type t = {
@@ -43,25 +59,34 @@ type t = {
   shard_mu : Mutex.t array;
   rr : int Atomic.t;  (* round-robin submit cursor *)
   stop : bool Atomic.t;
+  epochs : int Atomic.t array;  (* per-slot incarnation, bumped by respawn *)
   lock : Mutex.t;
   work_cv : Condition.t;  (* "new work arrived" *)
   done_cv : Condition.t;  (* "a task finished" *)
   mutable gen : int;  (* work-arrival generation; under [lock] *)
   mutable submitted : int;  (* under [lock] *)
   mutable finished : int;  (* under [lock] *)
+  writeoffs : (int * int, unit) Hashtbl.t;
+      (* (slot, epoch) whose in-flight task [respawn] already counted
+         as finished; consumed by that task's own completion so the
+         books balance exactly once.  Under [lock]. *)
   s_executed : int Atomic.t;
   s_stolen : int Atomic.t;
   s_injected : int Atomic.t;
   s_parks : int Atomic.t;
   s_exceptions : int Atomic.t;
+  s_respawns : int Atomic.t;
   exports : Obs.export option array;  (* worker Obs shards, set at exit *)
   mutable domains : unit Domain.t array;
+  mutable abandoned : unit Domain.t list;
+      (* wedged incarnations; never joined — they may never return *)
 }
 
 let c_tasks = Obs.Counter.make "fleet.tasks"
 let c_steals = Obs.Counter.make "fleet.steals"
 let c_parks = Obs.Counter.make "fleet.parks"
 let c_exceptions = Obs.Counter.make "fleet.exceptions"
+let c_respawns = Obs.Counter.make "fleet.respawns"
 
 (* Announce new claimable work.  Must not be called from inside
    [lock]. *)
@@ -71,8 +96,8 @@ let announce p =
   Condition.broadcast p.work_cv;
   Mutex.unlock p.lock
 
-let exec p w task =
-  (try task w
+let exec p w epoch task =
+  (try task w epoch
    with _ ->
      (* tasks are expected to confine their own failures (the executor
         wraps sessions); anything that still escapes is counted and
@@ -82,14 +107,23 @@ let exec p w task =
   Atomic.incr p.s_executed;
   Obs.Counter.incr c_tasks;
   Mutex.lock p.lock;
-  p.finished <- p.finished + 1;
-  Condition.broadcast p.done_cv;
+  if Hashtbl.mem p.writeoffs (w, epoch) then
+    (* [respawn] caught this incarnation mid-task and already counted
+       one finish on its behalf — consume the credit instead of
+       double-counting *)
+    Hashtbl.remove p.writeoffs (w, epoch)
+  else begin
+    p.finished <- p.finished + 1;
+    Condition.broadcast p.done_cv
+  end;
   Mutex.unlock p.lock
 
 (* Scan injector shards (own shard first); move up to [chunk] tasks
    out of the first non-empty one — run the first, push the rest onto
-   our deque where thieves can reach them. *)
-let from_injector p w =
+   our deque where thieves can reach them.  [dq] is the worker's own
+   deque captured at spawn: a stale incarnation must keep using the
+   deque it owns, never the replacement's. *)
+let from_injector p w epoch dq =
   let first = ref None in
   let moved = ref 0 in
   let i = ref 0 in
@@ -99,10 +133,15 @@ let from_injector p w =
     let q = p.shards.(s) in
     if not (Queue.is_empty q) then begin
       first := Some (Queue.pop q);
-      while !moved < p.chunk - 1 && not (Queue.is_empty q) do
-        Deque.push p.deques.(w) (Queue.pop q);
-        incr moved
-      done
+      (* a freshly-abandoned worker must not bury injector tasks in a
+         deque nobody scans any more; the epoch check shrinks that
+         window to a few instructions and the exit path re-injects
+         whatever still slips through *)
+      if Atomic.get p.epochs.(w) = epoch then
+        while !moved < p.chunk - 1 && not (Queue.is_empty q) do
+          Deque.push dq (Queue.pop q);
+          incr moved
+        done
     end;
     Mutex.unlock p.shard_mu.(s);
     incr i
@@ -145,33 +184,57 @@ let park p g =
   Mutex.unlock p.lock;
   not (Atomic.get p.stop)
 
-let worker p w =
+(* Push a rescued/returned task where any live worker can claim it. *)
+let reinject p w task =
+  Mutex.lock p.shard_mu.(w);
+  Queue.push task p.shards.(w);
+  Mutex.unlock p.shard_mu.(w)
+
+let worker p w epoch =
+  let dq = p.deques.(w) in
+  let stale () = Atomic.get p.epochs.(w) <> epoch in
   let rec loop () =
-    if Atomic.get p.stop then ()
+    if Atomic.get p.stop || stale () then ()
     else begin
       (* snapshot before scanning: any work announced after this point
          flips the park predicate *)
       let g = read_gen p in
-      match Deque.pop p.deques.(w) with
+      match Deque.pop dq with
       | Some task ->
-        exec p w task;
+        exec p w epoch task;
         loop ()
       | None -> (
-        match from_injector p w with
+        match from_injector p w epoch dq with
         | Some task ->
-          exec p w task;
+          exec p w epoch task;
           loop ()
         | None -> (
           match try_steal p w with
           | Some task ->
-            exec p w task;
+            exec p w epoch task;
             loop ()
           | None -> if park p g then loop ()))
     end
   in
   loop ();
-  (* hand this domain's Obs shard (counters, histograms) to shutdown *)
-  p.exports.(w) <- Some (Obs.export ())
+  if stale () then begin
+    (* abandoned incarnation bowing out: hand back anything it still
+       owns so no claimed-but-unrun task is stranded in a dead deque *)
+    let returned = ref 0 in
+    let rec give_back () =
+      match Deque.pop dq with
+      | Some t ->
+        reinject p w t;
+        incr returned;
+        give_back ()
+      | None -> ()
+    in
+    give_back ();
+    if !returned > 0 then announce p
+  end
+  else
+    (* hand this domain's Obs shard (counters, histograms) to shutdown *)
+    p.exports.(w) <- Some (Obs.export ())
 
 let create ?(chunk = 4) ~jobs () =
   let jobs = max 1 jobs in
@@ -183,24 +246,31 @@ let create ?(chunk = 4) ~jobs () =
       shard_mu = Array.init jobs (fun _ -> Mutex.create ());
       rr = Atomic.make 0;
       stop = Atomic.make false;
+      epochs = Array.init jobs (fun _ -> Atomic.make 0);
       lock = Mutex.create ();
       work_cv = Condition.create ();
       done_cv = Condition.create ();
       gen = 0;
       submitted = 0;
       finished = 0;
+      writeoffs = Hashtbl.create 4;
       s_executed = Atomic.make 0;
       s_stolen = Atomic.make 0;
       s_injected = Atomic.make 0;
       s_parks = Atomic.make 0;
       s_exceptions = Atomic.make 0;
+      s_respawns = Atomic.make 0;
       exports = Array.make jobs None;
-      domains = [||] }
+      domains = [||];
+      abandoned = [] }
   in
-  p.domains <- Array.init jobs (fun w -> Domain.spawn (fun () -> worker p w));
+  p.domains <-
+    Array.init jobs (fun w -> Domain.spawn (fun () -> worker p w 0));
   p
 
 let jobs p = p.jobs
+
+let epoch p w = Atomic.get p.epochs.(w)
 
 let submit p task =
   if Atomic.get p.stop then invalid_arg "Fleet.Pool.submit: pool is shut down";
@@ -215,6 +285,47 @@ let submit p task =
   Condition.broadcast p.work_cv;
   Mutex.unlock p.lock
 
+(* Abandon slot [w]'s current incarnation (presumed wedged inside a
+   task) and spawn a replacement.  Single supervising caller assumed —
+   concurrent respawns of the same slot are not supported.  Returns
+   the replacement's epoch.  The ordering matters: the write-off entry
+   lands under [lock] before the epoch bump, so by the time the ghost
+   observes staleness its credit is already in the table. *)
+let respawn p w =
+  if Atomic.get p.stop then
+    invalid_arg "Fleet.Pool.respawn: pool is shut down";
+  let old_epoch = Atomic.get p.epochs.(w) in
+  let old_deque = p.deques.(w) in
+  let next_epoch = old_epoch + 1 in
+  Mutex.lock p.lock;
+  Hashtbl.replace p.writeoffs (w, old_epoch) ();
+  (* the wedged task will never be waited for: count it finished now
+     so [drain] does not hang on a ghost *)
+  p.finished <- p.finished + 1;
+  Condition.broadcast p.done_cv;
+  Mutex.unlock p.lock;
+  p.deques.(w) <- Deque.create ();
+  Atomic.set p.epochs.(w) next_epoch;
+  (* rescue queued tasks the wedged owner will never run; steals are
+     safe against the ghost's own pops, and claims are exclusive *)
+  let rescued = ref 0 in
+  let rec rescue () =
+    match Deque.steal old_deque with
+    | Some t ->
+      reinject p w t;
+      incr rescued;
+      rescue ()
+    | None -> ()
+  in
+  rescue ();
+  if !rescued > 0 then announce p;
+  p.abandoned <- p.domains.(w) :: p.abandoned;
+  Atomic.incr p.s_respawns;
+  Obs.Counter.incr c_respawns;
+  p.domains.(w) <- Domain.spawn (fun () -> worker p w next_epoch);
+  announce p;
+  next_epoch
+
 let drain p =
   Mutex.lock p.lock;
   while p.finished < p.submitted do
@@ -228,6 +339,8 @@ let shutdown p =
   Mutex.lock p.lock;
   Condition.broadcast p.work_cv;
   Mutex.unlock p.lock;
+  (* join live incarnations only: an abandoned domain may be wedged
+     forever — it dies with the process *)
   Array.iter Domain.join p.domains;
   (* fold worker Obs shards into this domain, in worker-index order:
      the merge result is independent of how tasks were interleaved *)
@@ -238,4 +351,5 @@ let stats p =
     stolen = Atomic.get p.s_stolen;
     injected = Atomic.get p.s_injected;
     parks = Atomic.get p.s_parks;
-    exceptions = Atomic.get p.s_exceptions }
+    exceptions = Atomic.get p.s_exceptions;
+    respawns = Atomic.get p.s_respawns }

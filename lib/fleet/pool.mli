@@ -1,23 +1,35 @@
-(** N-domain work-stealing task pool.
+(** N-domain work-stealing task pool with worker supervision.
 
     [jobs] worker domains pull from a sharded injector queue into
     per-worker {!Deque}s and steal from each other when their own work
     runs out.  Tasks receive the index of the worker running them
-    (0-based) — the executor uses it to pick that worker's private
-    engine fork.
+    (0-based) and that worker's {e epoch} — the slot's incarnation
+    number, bumped each time {!respawn} replaces a wedged worker.
+    Layers above key per-worker mutable state (engine forks) by
+    [(slot, epoch)] so a live replacement and a not-yet-dead ghost
+    never share it.
 
     A task must not raise: anything that escapes is swallowed, counted
     under [fleet.exceptions], and the worker moves on — one broken task
     never takes down the pool (see also {!Executor}, which confines
     session failures to typed outcomes before they ever reach here).
 
-    Each worker accumulates observability state (counters, histograms,
-    traces) domain-locally; {!shutdown} folds the shards back into the
-    calling domain in worker-index order, which makes the merged
-    counters deterministic for a fixed job set regardless of how the
-    stealing interleaved. *)
+    Domains cannot be killed, so a worker stuck inside a task is
+    {e abandoned}, not destroyed: {!respawn} writes its in-flight task
+    off the books, rescues its queued work, and spawns a replacement
+    on the same slot.  If the ghost's task ever returns, the worker
+    notices the stale epoch, hands back anything left on its private
+    deque and exits; it is never joined (it may never return) and its
+    observability shard is lost with it.
 
-type task = int -> unit
+    Each live worker accumulates observability state (counters,
+    histograms, traces) domain-locally; {!shutdown} folds the shards
+    back into the calling domain in worker-index order, which makes the
+    merged counters deterministic for a fixed job set regardless of how
+    the stealing interleaved. *)
+
+type task = int -> int -> unit
+(** [task worker epoch] *)
 
 type t
 
@@ -28,6 +40,7 @@ type stats = {
   injected : int;  (** tasks submitted *)
   parks : int;  (** times a worker went to sleep empty-handed *)
   exceptions : int;  (** tasks that escaped with an exception *)
+  respawns : int;  (** wedged workers replaced *)
 }
 
 (** [create ~jobs ()] spawns [max 1 jobs] worker domains, idle until
@@ -38,17 +51,31 @@ val create : ?chunk:int -> jobs:int -> unit -> t
 
 val jobs : t -> int
 
+(** [epoch p w] is slot [w]'s current incarnation number (0 until the
+    first {!respawn}). *)
+val epoch : t -> int -> int
+
 (** [submit p task] enqueues [task]; any domain may call this (the pool
     itself must not — workers do not submit).  Raises [Invalid_argument]
     after {!shutdown}. *)
 val submit : t -> task -> unit
 
-(** Block until every submitted task has finished. *)
+(** [respawn p w] abandons slot [w]'s current worker (presumed wedged
+    inside a task) and spawns a replacement; returns the replacement's
+    epoch.  The wedged task is counted as finished immediately so
+    {!drain} cannot hang on it; queued tasks from the abandoned deque
+    are re-injected.  One supervising caller at a time.  Raises
+    [Invalid_argument] after {!shutdown}. *)
+val respawn : t -> int -> int
+
+(** Block until every submitted task has finished (or been written off
+    by {!respawn}). *)
 val drain : t -> unit
 
-(** [shutdown p] drains, stops and joins all workers, then absorbs
+(** [shutdown p] drains, stops and joins all live workers, then absorbs
     their observability shards into the calling domain (worker-index
-    order).  The pool is unusable afterwards. *)
+    order).  Abandoned workers are not joined.  The pool is unusable
+    afterwards. *)
 val shutdown : t -> unit
 
 val stats : t -> stats

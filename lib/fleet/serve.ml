@@ -1,4 +1,11 @@
-(* Line-framed JSON job protocol over the executor.
+(* Line-framed JSON job protocol over one shared, supervised fleet.
+
+   A [service] compiles both engines (native, clips) exactly once and
+   owns a Supervisor: executor, deadline watchdog, global admission
+   cap.  Any number of connections then attach with
+   [serve_connection]; their requests multiplex onto the same worker
+   domains and their responses come back per-connection in input
+   order, routed by a single collector thread.
 
    One request per input line — a flat JSON object, the same dialect
    Obs.Trace emits and Forensics.Jsonl parses:
@@ -7,10 +14,11 @@
 
    Fields: [scenario] (required), [policy] "native"|"clips" (default
    native), [seed] int or [fault_plan] string (mutually exclusive),
-   [budget] "KEY=N,KEY=N", [id] echoed back verbatim.
+   [budget] "KEY=N,KEY=N", [id] echoed back verbatim, [op]
+   "run" (default) | "health" | "stats".
 
-   One response line per request, in input order, whatever order the
-   fleet finished them in:
+   One response line per request, in that connection's input order,
+   whatever order the fleet finished them in:
 
      {"seq":0,"id":"job-42","scenario":"pma","status":"ok",
       "verdict":"SUSPICIOUS (HIGH)","expected":"suspicious (HIGH)",
@@ -18,9 +26,17 @@
       "degraded":false,"findings":"..."}
 
    Malformed lines produce {"status":"bad_request",...} at their
-   sequence position instead of poisoning the stream.  All response
-   content is session-deterministic, so serving the same request
-   script is byte-identical across runs and job counts. *)
+   sequence position instead of poisoning the stream.
+
+   Overload policy (DESIGN.md §17): the per-connection window BLOCKS
+   the reader — backpressure that can never change response content —
+   while the supervisor's global cap answers
+   {"status":"overloaded","retry":true} and a draining service
+   answers {"status":"shutting_down","retry":false}.  Run responses
+   are session-deterministic, so serving the same request script on
+   one connection is byte-identical across runs and job counts;
+   overloaded lines (cross-connection races), wall-clock timeout
+   errors, and health/stats telemetry are the documented exceptions. *)
 
 type target = {
   t_setup : Hth.Engine.setup;
@@ -29,6 +45,10 @@ type target = {
 }
 
 type resolver = string -> target option
+
+let c_requests = Obs.Counter.make "serve.requests"
+let c_overloaded = Obs.Counter.make "serve.overloaded"
+let h_latency = Obs.Histogram.make "serve.latency.ms"
 
 (* ------------------------------------------------------------------ *)
 (* flat-JSON response rendering (mirrors the escapes Jsonl accepts)    *)
@@ -79,6 +99,11 @@ type request = {
   r_matches : Hth.Report.verdict -> bool;
 }
 
+type parsed =
+  | P_run of request * Executor.job
+  | P_health of string option  (* id to echo *)
+  | P_stats of string option
+
 let field_str fields k =
   match List.assoc_opt k fields with
   | Some (Forensics.Jsonl.Str s) -> Ok (Some s)
@@ -93,75 +118,154 @@ let field_int fields k =
 
 let ( let* ) = Result.bind
 
-(* A request either parses into (request, job) or into an error line. *)
-let parse_request resolver line =
+(* A request either parses into a [parsed] or into an error line.
+   [default_ticks > 0] gives budget-less sessions a tick budget so a
+   runaway-but-ticking guest fails deterministically long before the
+   wall-clock watchdog has to get involved. *)
+let parse_request resolver ~default_ticks line =
   let* fields = Forensics.Jsonl.parse_line line in
   let* op = field_str fields "op" in
-  let* () =
-    match op with
-    | None | Some "run" -> Ok ()
-    | Some op -> Error (Printf.sprintf "unsupported op %S" op)
-  in
-  let* scenario = field_str fields "scenario" in
-  let* scenario =
-    match scenario with
-    | Some s -> Ok s
-    | None -> Error "missing field \"scenario\""
-  in
-  let* target =
-    match resolver scenario with
-    | Some t -> Ok t
-    | None -> Error (Printf.sprintf "unknown scenario %S" scenario)
-  in
   let* id = field_str fields "id" in
-  let* policy = field_str fields "policy" in
-  let* engine =
-    match policy with
-    | None | Some "native" -> Ok "native"
-    | Some "clips" -> Ok "clips"
-    | Some p -> Error (Printf.sprintf "unknown policy %S (native|clips)" p)
-  in
-  let* seed = field_int fields "seed" in
-  let* plan = field_str fields "fault_plan" in
-  let* fault =
-    match seed, plan with
-    | Some _, Some _ -> Error "seed and fault_plan are mutually exclusive"
-    | Some s, None -> Ok (Osim.Fault.seeded s)
-    | None, Some p -> Osim.Fault.parse p
-    | None, None -> Ok Osim.Fault.none
-  in
-  let* budget = field_str fields "budget" in
-  let* budgets =
-    match budget with
-    | None -> Ok Hth.Engine.no_budgets
-    | Some spec -> Hth.Engine.parse_budgets (String.split_on_char ',' spec)
-  in
-  Ok
-    ( { r_id = id;
-        r_scenario = scenario;
-        r_expected = target.t_expected;
-        r_matches = target.t_matches },
-      Executor.job ~engine ~budgets ~fault target.t_setup )
+  match op with
+  | Some "health" -> Ok (P_health id)
+  | Some "stats" -> Ok (P_stats id)
+  | None | Some "run" ->
+    let* scenario = field_str fields "scenario" in
+    let* scenario =
+      match scenario with
+      | Some s -> Ok s
+      | None -> Error "missing field \"scenario\""
+    in
+    let* target =
+      match resolver scenario with
+      | Some t -> Ok t
+      | None -> Error (Printf.sprintf "unknown scenario %S" scenario)
+    in
+    let* policy = field_str fields "policy" in
+    let* engine =
+      match policy with
+      | None | Some "native" -> Ok "native"
+      | Some "clips" -> Ok "clips"
+      | Some p -> Error (Printf.sprintf "unknown policy %S (native|clips)" p)
+    in
+    let* seed = field_int fields "seed" in
+    let* plan = field_str fields "fault_plan" in
+    let* fault =
+      match seed, plan with
+      | Some _, Some _ -> Error "seed and fault_plan are mutually exclusive"
+      | Some s, None -> Ok (Osim.Fault.seeded s)
+      | None, Some p -> Osim.Fault.parse p
+      | None, None -> Ok Osim.Fault.none
+    in
+    let* budget = field_str fields "budget" in
+    let* budgets =
+      match budget with
+      | None -> Ok Hth.Engine.no_budgets
+      | Some spec -> Hth.Engine.parse_budgets (String.split_on_char ',' spec)
+    in
+    let budgets =
+      match budgets.Hth.Engine.b_ticks with
+      | None when default_ticks > 0 ->
+        { budgets with Hth.Engine.b_ticks = Some default_ticks }
+      | _ -> budgets
+    in
+    Ok
+      (P_run
+         ( { r_id = id;
+             r_scenario = scenario;
+             r_expected = target.t_expected;
+             r_matches = target.t_matches },
+           Executor.job ~engine ~budgets ~fault target.t_setup ))
+  | Some op -> Error (Printf.sprintf "unsupported op %S (run|health|stats)" op)
 
 (* ------------------------------------------------------------------ *)
-(* ordered emission                                                    *)
+(* per-connection state: ordered emission + bounded in-flight window   *)
 
-type emitter = {
-  e_mu : Mutex.t;
-  e_pending : (int, string) Hashtbl.t;
-  mutable e_next : int;
-  e_out : string -> unit;
+type conn = {
+  c_mu : Mutex.t;
+  c_cv : Condition.t;  (* in-flight moved / response flushed *)
+  c_pending : (int, string) Hashtbl.t;  (* conn seq -> response line *)
+  mutable c_next : int;  (* next conn seq to write out *)
+  mutable c_inflight : int;  (* admitted fleet jobs not yet answered *)
+  mutable c_dead : bool;  (* output failed; drain without writing *)
+  c_out : string -> unit;
+  c_window : int;
 }
 
-let emit em k line =
-  Mutex.lock em.e_mu;
-  Hashtbl.replace em.e_pending k line;
-  while Hashtbl.mem em.e_pending em.e_next do
-    em.e_out (Hashtbl.find em.e_pending em.e_next);
-    Hashtbl.remove em.e_pending em.e_next;
-    em.e_next <- em.e_next + 1
+(* Flush in-order under [c_mu].  A failing [c_out] (client went away
+   mid-stream) marks the connection dead: remaining responses are
+   consumed and dropped so the fleet and the other connections never
+   notice. *)
+let flush_locked c =
+  while Hashtbl.mem c.c_pending c.c_next do
+    let l = Hashtbl.find c.c_pending c.c_next in
+    Hashtbl.remove c.c_pending c.c_next;
+    (if not c.c_dead then try c.c_out l with _ -> c.c_dead <- true);
+    c.c_next <- c.c_next + 1;
+    Condition.broadcast c.c_cv
+  done
+
+let conn_emit c k line =
+  Mutex.lock c.c_mu;
+  Hashtbl.replace c.c_pending k line;
+  flush_locked c;
+  Mutex.unlock c.c_mu
+
+(* Same, but also credits the connection's in-flight window (fleet
+   responses only — local responses never held a slot). *)
+let conn_fleet_emit c k line =
+  Mutex.lock c.c_mu;
+  Hashtbl.replace c.c_pending k line;
+  flush_locked c;
+  c.c_inflight <- c.c_inflight - 1;
+  Condition.broadcast c.c_cv;
+  Mutex.unlock c.c_mu
+
+let conn_uncount c =
+  Mutex.lock c.c_mu;
+  c.c_inflight <- c.c_inflight - 1;
+  Condition.broadcast c.c_cv;
+  Mutex.unlock c.c_mu
+
+(* ------------------------------------------------------------------ *)
+(* the service: one supervisor, one collector, N connections           *)
+
+type route = {
+  rt_conn : conn;
+  rt_seq : int;  (* the connection's sequence number *)
+  rt_req : request;
+  rt_t0 : float;  (* submit time, for serve.latency.ms *)
+}
+
+type service = {
+  sv_sup : Supervisor.t;
+  sv_resolver : resolver;
+  sv_default_ticks : int;  (* 0 = off *)
+  sv_window : int;
+  (* executor sequence -> route; written by a reader right after
+     submit, so the collector may momentarily outrun it and waits *)
+  sv_mu : Mutex.t;
+  sv_cv : Condition.t;
+  sv_meta : (int, route) Hashtbl.t;
+  sv_obs_mu : Mutex.t;  (* latency/counter cells vs. stats reads *)
+  mutable sv_collector : Thread.t option;
+}
+
+let put_meta svc eseq rt =
+  Mutex.lock svc.sv_mu;
+  Hashtbl.replace svc.sv_meta eseq rt;
+  Condition.broadcast svc.sv_cv;
+  Mutex.unlock svc.sv_mu
+
+let take_meta svc eseq =
+  Mutex.lock svc.sv_mu;
+  while not (Hashtbl.mem svc.sv_meta eseq) do
+    Condition.wait svc.sv_cv svc.sv_mu
   done;
-  Mutex.unlock em.e_mu
+  let rt = Hashtbl.find svc.sv_meta eseq in
+  Hashtbl.remove svc.sv_meta eseq;
+  Mutex.unlock svc.sv_mu;
+  rt
 
 (* ------------------------------------------------------------------ *)
 (* response rendering                                                  *)
@@ -200,73 +304,176 @@ let error_line seq (req : request) e =
 let bad_line seq msg =
   render [ "seq", I seq; "status", S "bad_request"; "error", S msg ]
 
-(* ------------------------------------------------------------------ *)
-(* the serve loop                                                      *)
+let overloaded_line seq (req : request) =
+  render
+    (("seq", I seq)
+     :: opt_id req.r_id
+          [ "scenario", S req.r_scenario;
+            "status", S "overloaded";
+            "retry", B true ])
 
-let run ?(jobs = 1) ~resolver ~input ~output () =
+let draining_line seq (req : request) =
+  render
+    (("seq", I seq)
+     :: opt_id req.r_id
+          [ "scenario", S req.r_scenario;
+            "status", S "shutting_down";
+            "retry", B false ])
+
+let health_line svc seq id =
+  let h = Supervisor.health svc.sv_sup in
+  render
+    (("seq", I seq)
+     :: opt_id id
+          [ "status", S "health";
+            "jobs", I h.Supervisor.h_jobs;
+            "inflight", I h.Supervisor.h_inflight;
+            "draining", B h.Supervisor.h_draining;
+            "timeouts", I h.Supervisor.h_timeouts;
+            "respawns", I h.Supervisor.h_respawns;
+            "executed", I h.Supervisor.h_stats.Pool.executed;
+            "stolen", I h.Supervisor.h_stats.Pool.stolen ])
+
+let stats_line svc seq id =
+  Mutex.lock svc.sv_obs_mu;
+  let requests = Obs.Counter.value c_requests in
+  let overloaded = Obs.Counter.value c_overloaded in
+  let n = Obs.Histogram.count h_latency in
+  (* integer microseconds: the protocol stays inside the Jsonl dialect
+     (no float literals), and a microsecond is plenty of resolution *)
+  let us p = int_of_float (Obs.Histogram.percentile h_latency p *. 1000.) in
+  let p50 = us 50. and p95 = us 95. and p99 = us 99. in
+  Mutex.unlock svc.sv_obs_mu;
+  render
+    (("seq", I seq)
+     :: opt_id id
+          [ "status", S "stats";
+            "requests", I requests;
+            "overloaded", I overloaded;
+            "latency_count", I n;
+            "latency_p50_us", I p50;
+            "latency_p95_us", I p95;
+            "latency_p99_us", I p99 ])
+
+(* ------------------------------------------------------------------ *)
+(* collector: routes global-order outcomes to per-connection emitters  *)
+
+let collector svc =
+  let rec go () =
+    match Supervisor.next svc.sv_sup with
+    | None -> ()  (* executor closed and fully drained *)
+    | Some o ->
+      let rt = take_meta svc o.Executor.o_seq in
+      let line =
+        match o.Executor.o_result with
+        | Ok r -> ok_line rt.rt_seq rt.rt_req r
+        | Error e -> error_line rt.rt_seq rt.rt_req e
+      in
+      Mutex.lock svc.sv_obs_mu;
+      Obs.Counter.incr c_requests;
+      Obs.Histogram.observe h_latency
+        ((Unix.gettimeofday () -. rt.rt_t0) *. 1000.);
+      Mutex.unlock svc.sv_obs_mu;
+      conn_fleet_emit rt.rt_conn rt.rt_seq line;
+      go ()
+  in
+  go ()
+
+let create ?(jobs = 1) ?deadline ?(max_inflight = 256) ?(window = 64)
+    ?(default_ticks = 0) ~resolver () =
   let native = Hth.Engine.create ~keep_events:false () in
   let clips =
     Hth.Engine.create ~policy:Secpert.System.Clips ~keep_events:false ()
   in
-  let ex = Executor.create ~jobs [ "native", native; "clips", clips ] in
-  let em =
-    { e_mu = Mutex.create ();
-      e_pending = Hashtbl.create 16;
-      e_next = 0;
-      e_out = output }
+  let sup =
+    Supervisor.create ?deadline ~max_inflight ~jobs
+      [ "native", native; "clips", clips ]
   in
-  (* executor sequence -> (serve sequence, request echo data); written
-     by the reader right after submit, so the collector may momentarily
-     outrun it and must wait *)
-  let meta_mu = Mutex.create () in
-  let meta_cv = Condition.create () in
-  let meta : (int, int * request) Hashtbl.t = Hashtbl.create 16 in
-  let put_meta eseq v =
-    Mutex.lock meta_mu;
-    Hashtbl.replace meta eseq v;
-    Condition.broadcast meta_cv;
-    Mutex.unlock meta_mu
+  let svc =
+    { sv_sup = sup;
+      sv_resolver = resolver;
+      sv_default_ticks = max 0 default_ticks;
+      sv_window = max 1 window;
+      sv_mu = Mutex.create ();
+      sv_cv = Condition.create ();
+      sv_meta = Hashtbl.create 64;
+      sv_obs_mu = Mutex.create ();
+      sv_collector = None }
   in
-  let take_meta eseq =
-    Mutex.lock meta_mu;
-    while not (Hashtbl.mem meta eseq) do
-      Condition.wait meta_cv meta_mu
-    done;
-    let v = Hashtbl.find meta eseq in
-    Hashtbl.remove meta eseq;
-    Mutex.unlock meta_mu;
-    v
+  svc.sv_collector <- Some (Thread.create collector svc);
+  svc
+
+let supervisor svc = svc.sv_sup
+
+let drain svc = Supervisor.begin_drain svc.sv_sup
+
+let serve_connection svc ~input ~output () =
+  let c =
+    { c_mu = Mutex.create ();
+      c_cv = Condition.create ();
+      c_pending = Hashtbl.create 16;
+      c_next = 0;
+      c_inflight = 0;
+      c_dead = false;
+      c_out = output;
+      c_window = svc.sv_window }
   in
-  let collector =
-    Domain.spawn (fun () ->
-        let rec go () =
-          match Executor.next ex with
-          | None -> ()
-          | Some o ->
-            let seq, req = take_meta o.Executor.o_seq in
-            let line =
-              match o.Executor.o_result with
-              | Ok r -> ok_line seq req r
-              | Error e -> error_line seq req e
-            in
-            emit em seq line;
-            go ()
-        in
-        go ())
-  in
-  let rec read_loop k =
+  let rec loop k =
     match input () with
     | None -> k
     | Some line ->
-      (match parse_request resolver line with
-       | Error msg -> emit em k (bad_line k msg)
-       | Ok (req, job) ->
-         let eseq = Executor.submit ex job in
-         put_meta eseq (k, req));
-      read_loop (k + 1)
+      (match
+         parse_request svc.sv_resolver ~default_ticks:svc.sv_default_ticks
+           line
+       with
+       | Error msg -> conn_emit c k (bad_line k msg)
+       | Ok (P_health id) -> conn_emit c k (health_line svc k id)
+       | Ok (P_stats id) -> conn_emit c k (stats_line svc k id)
+       | Ok (P_run (req, job)) ->
+         (* per-connection window: block the reader — deterministic
+            backpressure, response content never depends on timing *)
+         Mutex.lock c.c_mu;
+         while c.c_inflight >= c.c_window do
+           Condition.wait c.c_cv c.c_mu
+         done;
+         c.c_inflight <- c.c_inflight + 1;
+         Mutex.unlock c.c_mu;
+         let t0 = Unix.gettimeofday () in
+         (match Supervisor.submit svc.sv_sup job with
+          | Supervisor.Admitted eseq ->
+            put_meta svc eseq
+              { rt_conn = c; rt_seq = k; rt_req = req; rt_t0 = t0 }
+          | Supervisor.Overloaded ->
+            conn_uncount c;
+            Obs.Counter.incr c_overloaded;
+            conn_emit c k (overloaded_line k req)
+          | Supervisor.Draining ->
+            conn_uncount c;
+            conn_emit c k (draining_line k req)));
+      loop (k + 1)
   in
-  let total = read_loop 0 in
-  Executor.close ex;
-  Domain.join collector;
-  Executor.shutdown ex;
+  let total = loop 0 in
+  (* the connection's admitted jobs must all come back (the watchdog
+     guarantees progress) before the caller may close the transport *)
+  Mutex.lock c.c_mu;
+  while c.c_inflight > 0 do
+    Condition.wait c.c_cv c.c_mu
+  done;
+  Mutex.unlock c.c_mu;
   total
+
+let shutdown svc =
+  Supervisor.begin_drain svc.sv_sup;
+  Supervisor.await_drain svc.sv_sup;
+  Supervisor.shutdown svc.sv_sup;
+  Option.iter Thread.join svc.sv_collector;
+  svc.sv_collector <- None
+
+(* ------------------------------------------------------------------ *)
+(* the classic single-transport loop, now sugar over a service         *)
+
+let run ?(jobs = 1) ~resolver ~input ~output () =
+  let svc = create ~jobs ~resolver () in
+  Fun.protect
+    ~finally:(fun () -> shutdown svc)
+    (fun () -> serve_connection svc ~input ~output ())

@@ -1,14 +1,30 @@
-(** Line-framed JSON job service over the executor.
+(** Line-framed JSON job service over one shared, supervised fleet.
+
+    A {!service} compiles both engines (native and clips policies)
+    exactly once and owns a {!Supervisor.t}; any number of concurrent
+    connections attach with {!serve_connection} and multiplex onto the
+    same worker domains.
 
     Each input line is one flat JSON request (the {!Forensics.Jsonl}
     dialect): [{"scenario":NAME}] plus optional [id] (echoed), [policy]
     (["native"]|["clips"]), [seed] or [fault_plan] (deterministic fault
-    injection, mutually exclusive), [budget] (["KEY=N,KEY=N"]).  Each
-    request yields exactly one response line — verdict, expected label,
-    match flag, warning counts and the deduplicated findings with
-    evidence — emitted {e in input order} even though sessions run on
+    injection, mutually exclusive), [budget] (["KEY=N,KEY=N"]), and
+    [op] (["run"] default; ["health"] and ["stats"] answer from the
+    supervisor and the serve telemetry without occupying a fleet
+    slot).  Each request yields exactly one response line, emitted
+    {e in that connection's input order} even though sessions run on
     the fleet in whatever order stealing produces.  Malformed lines
     become [{"status":"bad_request"}] responses at their position.
+
+    Overload and shutdown policy (DESIGN.md §17): the per-connection
+    in-flight window {e blocks the reader} — backpressure that cannot
+    change response content — while the supervisor's global cap
+    answers [{"status":"overloaded","retry":true}] and a draining
+    service answers [{"status":"shutting_down","retry":false}].  Run
+    responses are session-deterministic (byte-identical across runs
+    and [--jobs] for a fixed per-connection script); overloaded lines,
+    wall-clock [timeout] errors and health/stats telemetry are the
+    documented nondeterministic exceptions.
 
     The transport is abstract ([input]/[output] closures), so the same
     loop serves stdin/stdout, a Unix socket (see bin/hth_serve), or an
@@ -23,12 +39,62 @@ type target = {
 
 type resolver = string -> target option
 
-(** [run ~resolver ~input ~output ()] serves requests until [input]
-    returns [None], then drains and returns the number of requests
-    answered.  [jobs] (default 1) sizes the fleet; [output] is called
-    once per response line (without trailing newline), possibly from a
-    different domain than the caller's, never concurrently with
-    itself. *)
+type service
+
+(** [create ~resolver ()] compiles the engines and starts the
+    supervisor (watchdog included) and the collector thread.
+
+    [jobs] sizes the fleet (default 1); [deadline] (seconds) is the
+    wall-clock watchdog budget applied to every request (omit to run
+    unsupervised); [max_inflight] (default 256) is the global
+    admission cap shared by all connections; [window] (default 64)
+    bounds each connection's in-flight requests by blocking its
+    reader; [default_ticks] (default 0 = off) gives budget-less
+    requests a deterministic tick budget so runaway-but-ticking guests
+    fail long before the wall-clock deadline. *)
+val create :
+  ?jobs:int ->
+  ?deadline:float ->
+  ?max_inflight:int ->
+  ?window:int ->
+  ?default_ticks:int ->
+  resolver:resolver ->
+  unit ->
+  service
+
+(** The service's supervisor — health snapshots for tests and front
+    ends; don't drive its lifecycle directly ({!shutdown} does). *)
+val supervisor : service -> Supervisor.t
+
+(** Refuse new run requests from now on: subsequent submissions answer
+    [shutting_down].  Health/stats still answer.  Idempotent. *)
+val drain : service -> unit
+
+(** [serve_connection svc ~input ~output ()] serves one connection
+    until [input] returns [None], waits for the connection's admitted
+    jobs to be answered, and returns the number of requests answered.
+    Safe to call from many threads concurrently — that {e is} the
+    point.  [output] is called once per response line (no trailing
+    newline), possibly from the collector thread, never concurrently
+    with itself for one connection.  An [output] that raises marks the
+    connection dead: remaining responses are dropped, the fleet and
+    other connections are unaffected, and [serve_connection] still
+    returns normally. *)
+val serve_connection :
+  service ->
+  input:(unit -> string option) ->
+  output:(string -> unit) ->
+  unit ->
+  int
+
+(** Drain, wait for every admitted job to be answered, then tear down
+    the supervisor, fleet and collector.  Call after the connection
+    readers have finished. *)
+val shutdown : service -> unit
+
+(** [run ~resolver ~input ~output ()] is the whole single-transport
+    lifecycle: {!create}, one {!serve_connection}, {!shutdown};
+    returns the number of requests answered. *)
 val run :
   ?jobs:int ->
   resolver:resolver ->

@@ -201,6 +201,12 @@ module Histogram = struct
     if x > s.max then s.max <- x;
     keep_sample s x
 
+  (* Drop the calling domain's state for [h] — fresh interval
+     measurement without disturbing any other histogram or domain. *)
+  let reset h =
+    let a = Domain.DLS.get states_key in
+    if h.h_slot < Array.length a then a.(h.h_slot) <- fresh_state ()
+
   let name h = h.h_name
   let count h = (state h).count
   let sum h = (state h).sum

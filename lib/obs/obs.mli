@@ -55,6 +55,12 @@ module Histogram : sig
 
   val make : string -> t
   val observe : t -> float -> unit
+
+  val reset : t -> unit
+  (** Discard the {e calling domain's} observations for this histogram
+      — interval measurement (e.g. per-benchmark-phase latency) without
+      a global epoch.  Other domains' cells are untouched. *)
+
   val name : t -> string
   val count : t -> int
   val sum : t -> float

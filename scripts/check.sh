@@ -161,5 +161,77 @@ else
   status=1
 fi
 
+echo "== serve-resilience gate =="
+# One supervised fleet behind a Unix socket (DESIGN.md §17): a client
+# that vanishes mid-stream must not disturb other connections; SIGTERM
+# under load must drain every admitted response, exit 0 and unlink the
+# socket file.  Three iterations because the scheduling is racy even
+# though the contract is not.
+serve_exe=_build/default/bin/hth_serve.exe
+client_exe=_build/default/bin/hth_client.exe
+dune build bin/hth_serve.exe bin/hth_client.exe
+cat > "$tmp/resil.jobs" <<'EOF'
+{"scenario":"pma","id":"r0"}
+{"scenario":"grabem","policy":"clips","id":"r1"}
+{"scenario":"ls","seed":3,"id":"r2"}
+{"scenario":"column","id":"r3"}
+{"scenario":"procex","id":"r4"}
+EOF
+# reference bytes for that script, from the same service code path
+"$serve_exe" --jobs 2 < "$tmp/resil.jobs" > "$tmp/resil.ref"
+: > "$tmp/load.jobs"
+i=0
+while [ "$i" -lt 20 ]; do
+  echo "{\"scenario\":\"pma\",\"id\":\"load-$i\"}" >> "$tmp/load.jobs"
+  i=$((i + 1))
+done
+for i in 1 2 3; do
+  sock="$tmp/hth.$i.sock"
+  "$serve_exe" --socket "$sock" --jobs 2 --deadline 30 \
+    2> "$tmp/serve_resil.$i.log" &
+  srv=$!
+  n=0
+  while [ ! -S "$sock" ] && [ "$n" -lt 100 ]; do
+    sleep 0.05
+    n=$((n + 1))
+  done
+  # a misbehaving client disconnects after one response...
+  "$client_exe" --socket "$sock" --abort-after 1 < "$tmp/resil.jobs" \
+    > /dev/null 2>&1 || true
+  # ...while a well-behaved one must still get every byte it is owed
+  "$client_exe" --socket "$sock" < "$tmp/resil.jobs" > "$tmp/resil.$i"
+  if ! cmp -s "$tmp/resil.ref" "$tmp/resil.$i"; then
+    echo "  SERVE RESILIENCE: post-disconnect responses diverged (iter $i)" >&2
+    diff "$tmp/resil.ref" "$tmp/resil.$i" | head -10 >&2 || true
+    status=1
+  fi
+  # health answers from the shared supervisor
+  if ! echo '{"op":"health"}' | "$client_exe" --socket "$sock" \
+       | grep -q '"status":"health"'; then
+    echo "  SERVE RESILIENCE: health op failed (iter $i)" >&2
+    status=1
+  fi
+  # SIGTERM under load: every admitted request still gets a response
+  "$client_exe" --socket "$sock" < "$tmp/load.jobs" > "$tmp/load.$i" &
+  cli=$!
+  sleep 0.3
+  kill -TERM "$srv"
+  wait "$cli" || true
+  if wait "$srv"; then :; else
+    echo "  SERVE RESILIENCE: server exit code $? after SIGTERM (iter $i)" >&2
+    status=1
+  fi
+  if [ "$(wc -l < "$tmp/load.$i")" != 20 ]; then
+    echo "  SERVE RESILIENCE: $(wc -l < "$tmp/load.$i")/20 responses drained (iter $i)" >&2
+    status=1
+  fi
+  if [ -e "$sock" ]; then
+    echo "  SERVE RESILIENCE: socket file left behind (iter $i)" >&2
+    status=1
+  fi
+done
+[ "$status" -eq 0 ] \
+  && echo "  ok: serve resilience (disconnects, SIGTERM drain, 3 iterations)"
+
 [ "$status" -eq 0 ] && echo "all checks passed"
 exit "$status"

@@ -85,13 +85,13 @@ let pool_case =
       let p = Fleet.Pool.create ~jobs:4 () in
       let hits = Atomic.make 0 in
       for i = 0 to 199 do
-        Fleet.Pool.submit p (fun _w ->
+        Fleet.Pool.submit p (fun _w _e ->
             if i mod 10 = 3 then failwith "injected task crash";
             Atomic.incr hits)
       done;
       Fleet.Pool.drain p;
       (* the pool is still alive after 20 crashing tasks *)
-      Fleet.Pool.submit p (fun _w -> Atomic.incr hits);
+      Fleet.Pool.submit p (fun _w _e -> Atomic.incr hits);
       Fleet.Pool.shutdown p;
       let s = Fleet.Pool.stats p in
       Alcotest.(check int) "non-crashing tasks ran" 181 (Atomic.get hits);
@@ -100,7 +100,7 @@ let pool_case =
       Alcotest.(check int) "submissions counted" 201 s.Fleet.Pool.injected;
       Alcotest.(check bool) "submit after shutdown rejected" true
         (try
-           Fleet.Pool.submit p (fun _ -> ());
+           Fleet.Pool.submit p (fun _ _ -> ());
            false
          with Invalid_argument _ -> true))
 

@@ -31,6 +31,7 @@ let () =
       "golden", Test_golden.suite;
       "forensics", Test_forensics.suite;
       "fleet", Test_fleet.suite;
+      "supervise", Test_supervise.suite;
       "dormant", Test_dormant.suite;
       "table1",
       [ Alcotest.test_case "smoke" `Quick
