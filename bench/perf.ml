@@ -325,6 +325,137 @@ let serve_results () =
       row)
     [ 1; 2 ]
 
+(* ------------------------------------------------------------------ *)
+(* Trace warehouse: ingest cost of the segment sink against a plain
+   in-memory buffer sink, and fleet-query latency against a built
+   store.  The two segment rows bracket the sink hot path: per-line
+   frames is what naive per-line writes amount to (one frame, one
+   deflate stream and one checksum per trace line), the 64 KiB chunked
+   sink is the shipped path — lines accumulate in one reused buffer
+   and are framed wholesale. *)
+
+let store_rounds = 30
+
+let store_ingest_results () =
+  let scs = golden_corpus () in
+  let eng = Hth.Engine.create ~keep_events:false () in
+  let buf = Buffer.create (1 lsl 16) in
+  let buffer_sweep () =
+    List.iter
+      (fun (sc : Guest.Scenario.t) ->
+        Buffer.clear buf;
+        ignore
+          (Hth.Engine.run eng ~trace:(Obs.Trace.buffer_target buf)
+             sc.sc_setup))
+      scs
+  in
+  let segment_sweep ?chunk_bytes () =
+    List.iter
+      (fun (sc : Guest.Scenario.t) ->
+        let w = Store.Segment.Writer.create ?chunk_bytes () in
+        ignore
+          (Hth.Engine.run eng ~trace:(Store.Segment.Writer.target w)
+             sc.sc_setup);
+        ignore (Store.Segment.Writer.seal w))
+      scs
+  in
+  [ "store/ingest buffer sink",
+    sustained_ns ~rounds:store_rounds buffer_sweep;
+    "store/ingest segment sink (per-line frames)",
+    sustained_ns ~rounds:store_rounds (segment_sweep ~chunk_bytes:1);
+    "store/ingest segment sink (64KiB chunks)",
+    sustained_ns ~rounds:store_rounds (segment_sweep ?chunk_bytes:None) ]
+
+(* Queries run against a store of one golden sweep built in a temp
+   directory; they read the manifest and segment indexes only, so each
+   measured call includes the real per-segment file I/O the CLI pays. *)
+let store_entry (sc : Guest.Scenario.t) outcome
+    (sealed : Store.Segment.sealed) =
+  let verdict, matched, warnings, distinct, degraded =
+    match outcome with
+    | Ok (r : Hth.Engine.result) ->
+      let v = Hth.Report.verdict r in
+      ( Hth.Report.verdict_label v,
+        Guest.Scenario.matches sc.sc_expected v,
+        List.length r.warnings, List.length r.distinct, r.degraded <> [] )
+    | Error e -> "error:" ^ Hth.Error.kind e, false, 0, 0, false
+  in
+  { Store.Manifest.e_run = sc.sc_name;
+    e_scenario = sc.sc_name;
+    e_policy = "native";
+    e_seed = None;
+    e_fault = None;
+    e_verdict = verdict;
+    e_expected = Guest.Scenario.expected_label sc.sc_expected;
+    e_match = matched;
+    e_warnings = warnings;
+    e_distinct = distinct;
+    e_degraded = degraded;
+    e_steps = 0;
+    e_raw_bytes = 0;
+    e_framed_bytes = 0;
+    e_digest = Store.Manifest.digest sealed.s_index.ix_counters;
+    e_segment = "" }
+
+let build_store dir =
+  let wh =
+    match Store.Warehouse.open_ dir with
+    | Ok wh -> wh
+    | Error e -> failwith (Hth.Error.to_string e)
+  in
+  let eng = Hth.Engine.create ~keep_events:false () in
+  List.iter
+    (fun (sc : Guest.Scenario.t) ->
+      let w = Store.Segment.Writer.create () in
+      let outcome =
+        Hth.Engine.run_outcome eng ~trace:(Store.Segment.Writer.target w)
+          sc.sc_setup
+      in
+      let sealed = Store.Segment.Writer.seal w in
+      ignore (Store.Warehouse.append wh ~entry:(store_entry sc outcome sealed) ~sealed))
+    (golden_corpus ());
+  Store.Warehouse.close wh
+
+let remove_store dir =
+  let rm_files d =
+    if Sys.file_exists d then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d)
+    end
+  in
+  rm_files (Filename.concat dir "segments");
+  (try Unix.rmdir (Filename.concat dir "segments")
+   with Unix.Unix_error _ -> ());
+  rm_files dir;
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let store_query_rounds = 300
+
+let store_query_results () =
+  let dir = Filename.temp_file "hth_bench_store" "" in
+  Sys.remove dir;
+  build_store dir;
+  Fun.protect ~finally:(fun () -> remove_store dir) @@ fun () ->
+  let view =
+    match Store.Warehouse.load dir with
+    | Ok v -> v
+    | Error e -> failwith (Hth.Error.to_string e)
+  in
+  let ok = function
+    | Ok _ -> ()
+    | Error e -> failwith (Hth.Error.to_string e)
+  in
+  [ "store/fleet query (severity=HIGH)",
+    sustained_ns ~rounds:store_query_rounds (fun () ->
+        ok
+          (Store.Fleet_query.query view
+             { Store.Fleet_query.no_filter with q_severity = Some "HIGH" }));
+    "store/fleet profile",
+    sustained_ns ~rounds:store_query_rounds (fun () ->
+        ok (Store.Fleet_query.profile view));
+    "store/fleet diff (pma)",
+    sustained_ns ~rounds:store_query_rounds (fun () ->
+        ok (Store.Fleet_query.diff view ~run:"pma")) ]
+
 let analyze tests =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0
@@ -398,7 +529,7 @@ let corpus_cold_for corpus name =
   | None -> None
 
 let write_json path ~levels ~native ~components ~policies ~corpus ~fleet
-    ~serve =
+    ~serve ~store =
   let slowdown _ ns =
     if Float.is_nan native || native = 0. then []
     else [ Printf.sprintf "\"slowdown_vs_native\": %.2f" (ns /. native) ]
@@ -452,6 +583,26 @@ let write_json path ~levels ~native ~components ~policies ~corpus ~fleet
         Printf.sprintf "\"latency_p95_ms\": %.3f" p95;
         Printf.sprintf "\"latency_p99_ms\": %.3f" p99 ]
   in
+  (* ingest rows: one run is a full corpus sweep; query rows: one run
+     is one fleet query, reported as wall-clock latency *)
+  let store_buffer_ns =
+    match
+      List.find_opt (fun (n, _) -> n = "store/ingest buffer sink") store
+    with
+    | Some (_, ns) -> ns
+    | None -> nan
+  in
+  let store_extra name ns =
+    if String.length name >= 13 && String.sub name 0 13 = "store/ingest " then
+      Printf.sprintf "\"sessions_per_sec\": %.0f"
+        (float_of_int corpus_size *. 1e9 /. ns)
+      ::
+      (if Float.is_nan store_buffer_ns || store_buffer_ns <= 0. then []
+       else
+         [ Printf.sprintf "\"overhead_vs_buffer\": %.2f"
+             (ns /. store_buffer_ns) ])
+    else [ Printf.sprintf "\"latency_ms\": %.3f" (ns /. 1e6) ]
+  in
   let doc =
     String.concat "\n"
       [ "{";
@@ -467,7 +618,9 @@ let write_json path ~levels ~native ~components ~policies ~corpus ~fleet
         ^ ",";
         json_group "serve"
           (List.map (fun (n, ns, _) -> n, ns) serve)
-          serve_extra;
+          serve_extra
+        ^ ",";
+        json_group "store" store store_extra;
         "}" ]
   in
   let oc = open_out path in
@@ -556,5 +709,31 @@ let run ?(json_path = "BENCH_perf.json") () =
            Printf.sprintf "%.2f ms" p95;
            Printf.sprintf "%.2f ms" p99 ])
        serve);
+  let ingest = store_ingest_results () in
+  let buffer_ns =
+    match
+      List.find_opt (fun (n, _) -> n = "store/ingest buffer sink") ingest
+    with
+    | Some (_, ns) -> ns
+    | None -> nan
+  in
+  Grid.print
+    ~title:
+      (Printf.sprintf
+         "Store ingest (%d golden scenarios per sweep, traces on)"
+         corpus_size)
+    ~headers:
+      [ "Sink"; "time/sweep"; "sessions/s"; "vs buffer sink" ]
+    (List.map
+       (fun (name, ns) ->
+         [ name; human_ns ns;
+           Printf.sprintf "%.0f" (float_of_int corpus_size *. 1e9 /. ns);
+           Printf.sprintf "%.2fx" (ns /. buffer_ns) ])
+       ingest);
+  let queries = store_query_results () in
+  Grid.print
+    ~title:"Fleet queries (store of one golden sweep, index-only reads)"
+    ~headers:[ "Query"; "latency" ]
+    (List.map (fun (name, ns) -> [ name; human_ns ns ]) queries);
   write_json json_path ~levels ~native ~components ~policies ~corpus ~fleet
-    ~serve
+    ~serve ~store:(ingest @ queries)

@@ -86,6 +86,30 @@ let () =
   check "trace non-empty" (String.length t1 > 0);
   check "trace deterministic" (String.equal t1 (capture ()));
   check "no-op sink restored" (not (Obs.Trace.enabled ()));
+  (* store bench path: build the query store in a temp dir, answer
+     each fleet query once, tear it down *)
+  let store_dir = Filename.temp_file "bench_smoke_store" "" in
+  Sys.remove store_dir;
+  Perf.build_store store_dir;
+  (match Store.Warehouse.load store_dir with
+   | Error e -> failwith ("bench smoke: store load: " ^ Hth.Error.to_string e)
+   | Ok view ->
+     check "store holds the corpus"
+       (List.length view.v_entries = Perf.corpus_size);
+     (match
+        Store.Fleet_query.query view
+          { Store.Fleet_query.no_filter with q_severity = Some "HIGH" }
+      with
+      | Ok hits -> check "severity query hits" (hits <> [])
+      | Error e -> failwith ("bench smoke: query: " ^ Hth.Error.to_string e));
+     (match Store.Fleet_query.profile view with
+      | Ok blocks -> check "fleet profile nonempty" (blocks <> [])
+      | Error e ->
+        failwith ("bench smoke: profile: " ^ Hth.Error.to_string e));
+     (match Store.Fleet_query.diff view ~run:"pma" with
+      | Ok (_, compared) -> check "fleet diff compared" (compared > 0)
+      | Error e -> failwith ("bench smoke: diff: " ^ Hth.Error.to_string e)));
+  Perf.remove_store store_dir;
   (* the JSON emitter *)
   let tmp = Filename.temp_file "bench_smoke" ".json" in
   Perf.write_json tmp
@@ -105,6 +129,10 @@ let () =
           exceptions = 0; respawns = 0 } ]
     ~serve:
       [ "serve/jobs=1", 2e6, (0.8, 1.4, 2.1);
-        "serve/jobs=2", 1e6, (0.7, 1.2, 1.9) ];
+        "serve/jobs=2", 1e6, (0.7, 1.2, 1.9) ]
+    ~store:
+      [ "store/ingest buffer sink", 2e6;
+        "store/ingest segment sink (64KiB chunks)", 2.4e6;
+        "store/fleet profile", 1e5 ];
   Sys.remove tmp;
   print_endline "bench smoke ok"

@@ -74,6 +74,53 @@ let stats_flag =
   let doc = "Print the observability counters collected during the run." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let store_arg =
+  let doc =
+    "Record the run into the trace warehouse at $(docv) (created if \
+     missing, extended if present): a framed, compressed trace segment \
+     with an embedded offset index, plus a manifest entry carrying the \
+     verdict and a counter digest.  Query with hth_trace --store; the \
+     reconstructed trace is byte-identical to --trace output."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let open_store dir =
+  match Store.Warehouse.open_ dir with
+  | Ok wh -> wh
+  | Error e ->
+    Printf.eprintf "hth_run: %s\n" (Hth.Error.to_string e);
+    exit 2
+
+(* One manifest entry per run, shared by `run --store` and
+   `batch --store`: error outcomes are recorded too ([error:<kind>],
+   match:false) so the warehouse is a complete account of the batch. *)
+let manifest_entry ~scenario ~expected ~matches ~policy ~seed ~fault_plan
+    outcome (sealed : Store.Segment.sealed) =
+  let verdict, matched, warnings, distinct, degraded =
+    match outcome with
+    | Ok (r : Hth.Engine.result) ->
+      let v = Hth.Report.verdict r in
+      ( Hth.Report.verdict_label v, matches v,
+        List.length r.warnings, List.length r.distinct, r.degraded <> [] )
+    | Error e -> "error:" ^ Hth.Error.kind e, false, 0, 0, false
+  in
+  { Store.Manifest.e_run = scenario;
+    e_scenario = scenario;
+    e_policy = policy;
+    e_seed = seed;
+    e_fault = Option.map Osim.Fault.to_string fault_plan;
+    e_verdict = verdict;
+    e_expected = expected;
+    e_match = matched;
+    e_warnings = warnings;
+    e_distinct = distinct;
+    e_degraded = degraded;
+    e_steps = 0;  (* size fields are filled by Warehouse.append *)
+    e_raw_bytes = 0;
+    e_framed_bytes = 0;
+    e_digest = Store.Manifest.digest sealed.s_index.ix_counters;
+    e_segment = "" }
+
 (* Fault plans and budgets are validated by cmdliner converters, so a
    malformed SPEC is a usage error (cmdliner's CLI-error exit code), not
    a crash deep in the run. *)
@@ -138,7 +185,7 @@ let budgets_of specs =
 
 let run_scenario name events no_dataflow no_freq no_shortcircuit
     trust_nothing clips verbose kill_at trace_file stats fault_plan seed
-    budget_specs =
+    budget_specs store_dir =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -172,24 +219,44 @@ let run_scenario name events no_dataflow no_freq no_shortcircuit
     let policy =
       if clips then Secpert.System.Clips else Secpert.System.Native
     in
-    let trace_oc =
-      Option.map
-        (fun path ->
-          let oc = open_out path in
-          Obs.Trace.to_channel oc;
-          oc)
-        trace_file
+    let store = Option.map open_store store_dir in
+    let writer = Option.map (fun _ -> Store.Segment.Writer.create ()) store in
+    let trace_oc = Option.map open_out trace_file in
+    (* the session owns the sink lifecycle; with both --trace and
+       --store, one chunked sink tees so the file and the segment hold
+       identical bytes by construction *)
+    let trace =
+      match trace_oc, writer with
+      | None, None -> None
+      | Some oc, None -> Some (Obs.Trace.channel_target oc)
+      | None, Some w -> Some (Store.Segment.Writer.target w)
+      | Some oc, Some w ->
+        Some
+          (Obs.Trace.chunk_target (fun chunk ->
+               output_string oc chunk;
+               Store.Segment.Writer.add_chunk w chunk))
     in
     let outcome =
       Fun.protect
-        ~finally:(fun () ->
-          Obs.Trace.disable ();
-          Option.iter close_out trace_oc)
+        ~finally:(fun () -> Option.iter close_out trace_oc)
         (fun () ->
           Hth.Session.run_outcome ~monitor_config ~trust ~policy ?auto_kill
             ~budgets:(budgets_of budget_specs)
-            ~fault:(fault_of fault_plan seed) sc.sc_setup)
+            ~fault:(fault_of fault_plan seed) ?trace sc.sc_setup)
     in
+    Option.iter
+      (fun wh ->
+        let sealed = Store.Segment.Writer.seal (Option.get writer) in
+        let entry =
+          manifest_entry ~scenario:sc.sc_name
+            ~expected:(Guest.Scenario.expected_label sc.sc_expected)
+            ~matches:(Guest.Scenario.matches sc.sc_expected)
+            ~policy:(if clips then "clips" else "native")
+            ~seed ~fault_plan outcome sealed
+        in
+        ignore (Store.Warehouse.append wh ~entry ~sealed);
+        Store.Warehouse.close wh)
+      store;
     (match outcome with
      | Error e ->
        (* one-line typed diagnosis; the exit code identifies the class *)
@@ -216,7 +283,7 @@ let run_cmd =
       const run_scenario $ scenario_arg $ events_flag $ no_dataflow_flag
       $ no_freq_flag $ no_shortcircuit_flag $ trust_nothing_flag
       $ clips_flag $ verbose_flag $ kill_at_arg $ trace_arg $ stats_flag
-      $ fault_plan_arg $ seed_arg $ budget_args)
+      $ fault_plan_arg $ seed_arg $ budget_args $ store_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch: the whole corpus, crash-isolated                             *)
@@ -254,8 +321,17 @@ let batch_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
   in
+  let batch_store_arg =
+    let doc =
+      "Record every scenario of the batch into the trace warehouse at \
+       $(docv).  Segments are sealed on the worker domains but appended \
+       in submission order by the coordinator, so the store is \
+       byte-identical whatever $(b,--jobs) is."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
   let run trust_nothing clips kill_at fault_plan seed budget_specs
-      share_taint jobs trace_dir =
+      share_taint jobs trace_dir store_dir =
     let budgets = budgets_of budget_specs in
     let fault = fault_of fault_plan seed in
     let trust =
@@ -281,6 +357,7 @@ let batch_cmd =
     Option.iter
       (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
       trace_dir;
+    let store = Option.map open_store store_dir in
     (* Every batch goes through the fleet (jobs=1 is a one-worker
        fleet); outcomes come back in submission order, so this prints
        the exact rows the old sequential loop printed. *)
@@ -290,7 +367,8 @@ let batch_cmd =
         (List.map
            (fun (sc : Guest.Scenario.t) ->
              Fleet.Executor.job ~budgets ~fault
-               ~trace:(trace_dir <> None) sc.sc_setup)
+               ~trace:(trace_dir <> None)
+               ~store:(Option.is_some store) sc.sc_setup)
            Guest.Corpus.all)
     in
     Fleet.Executor.shutdown ex;
@@ -298,6 +376,22 @@ let batch_cmd =
     Fmt.pr "%-40s %-18s %-22s %s@." "scenario" "expected" "outcome" "notes";
     List.iter2
       (fun (sc : Guest.Scenario.t) (o : Fleet.Executor.outcome) ->
+        (* outcomes arrive in submission order, so appending here gives
+           a manifest that is byte-identical across --jobs counts *)
+        Option.iter
+          (fun wh ->
+            Option.iter
+              (fun sealed ->
+                let entry =
+                  manifest_entry ~scenario:sc.sc_name
+                    ~expected:(Guest.Scenario.expected_label sc.sc_expected)
+                    ~matches:(Guest.Scenario.matches sc.sc_expected)
+                    ~policy:(if clips then "clips" else "native")
+                    ~seed ~fault_plan o.o_result sealed
+                in
+                ignore (Store.Warehouse.append wh ~entry ~sealed))
+              o.o_segment)
+          store;
         Option.iter
           (fun dir ->
             Option.iter
@@ -334,6 +428,7 @@ let batch_cmd =
                ((if ok then [] else [ "MISMATCH" ])
                @ if r.degraded = [] then [] else [ "degraded" ])))
       Guest.Corpus.all outcomes;
+    Option.iter Store.Warehouse.close store;
     Fmt.pr "@.%d scenarios: %d verdict mismatches, %d errors, %d degraded@."
       (List.length Guest.Corpus.all)
       !failures !errors !degraded;
@@ -343,7 +438,7 @@ let batch_cmd =
     Term.(
       const run $ trust_nothing_flag $ clips_flag $ kill_at_arg
       $ fault_plan_arg $ seed_arg $ budget_args $ share_taint_flag
-      $ jobs_arg $ trace_dir_arg)
+      $ jobs_arg $ trace_dir_arg $ batch_store_arg)
 
 let trace_cmd =
   let doc =

@@ -84,11 +84,23 @@ let grace_arg =
   in
   Arg.(value & opt float 15. & info [ "grace" ] ~docv:"SECONDS" ~doc)
 
-let create_service ~jobs ~deadline ~window ~max_inflight ~default_ticks =
+let store_arg =
+  let doc =
+    "Record every run request into the trace warehouse at $(docv) \
+     (created if missing, extended if present): a sealed segment plus \
+     manifest entry per request, appended before the response line is \
+     emitted, so a drained server leaves complete runs or no run.  \
+     Query with hth_trace --store.  {\"op\":\"store_stats\"} reports \
+     totals."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let create_service ~jobs ~deadline ~window ~max_inflight ~default_ticks
+    ?store () =
   let deadline = if deadline > 0. then Some deadline else None in
   Fleet.Serve.create ~jobs ?deadline
     ~max_inflight:(max window max_inflight)
-    ~window ~default_ticks:(max 0 default_ticks) ~resolver ()
+    ~window ~default_ticks:(max 0 default_ticks) ?store ~resolver ()
 
 let serve_fd svc fd =
   let ic = Unix.in_channel_of_descr fd in
@@ -104,9 +116,11 @@ let serve_fd svc fd =
 (* ------------------------------------------------------------------ *)
 (* stdin mode: one connection, EOF drains                              *)
 
-let serve_stdin ~jobs ~deadline ~window ~max_inflight ~default_ticks =
+let serve_stdin ~jobs ~deadline ~window ~max_inflight ~default_ticks ?store
+    () =
   let svc =
     create_service ~jobs ~deadline ~window ~max_inflight ~default_ticks
+      ?store ()
   in
   Fun.protect
     ~finally:(fun () -> Fleet.Serve.shutdown svc)
@@ -130,9 +144,10 @@ type conn_handle = {
 }
 
 let serve_socket ~jobs ~deadline ~window ~max_inflight ~default_ticks
-    ~grace path =
+    ~grace ?store path =
   let svc =
     create_service ~jobs ~deadline ~window ~max_inflight ~default_ticks
+      ?store ()
   in
   (* Bind at a private temp path, then rename over PATH: atomic
      replacement of a stale socket with no window where PATH is
@@ -247,14 +262,30 @@ let serve_socket ~jobs ~deadline ~window ~max_inflight ~default_ticks
       Fleet.Serve.shutdown svc;
       Printf.eprintf "hth_serve: drained, bye\n%!")
 
-let main jobs socket deadline window max_inflight default_ticks grace =
+let main jobs socket deadline window max_inflight default_ticks grace
+    store_dir =
   let jobs = max 1 jobs in
   let window = max 1 window in
-  match socket with
-  | None -> serve_stdin ~jobs ~deadline ~window ~max_inflight ~default_ticks
-  | Some path ->
-    serve_socket ~jobs ~deadline ~window ~max_inflight ~default_ticks ~grace
-      path
+  let store =
+    match store_dir with
+    | None -> None
+    | Some dir -> (
+      match Store.Warehouse.open_ dir with
+      | Ok wh -> Some wh
+      | Error e ->
+        Printf.eprintf "hth_serve: %s\n%!" (Hth.Error.to_string e);
+        exit 2)
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Store.Warehouse.close store)
+    (fun () ->
+      match socket with
+      | None ->
+        serve_stdin ~jobs ~deadline ~window ~max_inflight ~default_ticks
+          ?store ()
+      | Some path ->
+        serve_socket ~jobs ~deadline ~window ~max_inflight ~default_ticks
+          ~grace ?store path)
 
 let () =
   let doc = "Hunting Trojan Horses: line-framed JSON analysis service" in
@@ -264,4 +295,5 @@ let () =
        (Cmd.v info
           Term.(
             const main $ jobs_arg $ socket_arg $ deadline_arg $ window_arg
-            $ max_inflight_arg $ default_ticks_arg $ grace_arg)))
+            $ max_inflight_arg $ default_ticks_arg $ grace_arg
+            $ store_arg)))

@@ -262,7 +262,7 @@ let spawn_main ?images kernel s =
 let note_outcome kind =
   Obs.Counter.incr (Obs.Counter.labeled "session.outcome" kind)
 
-let run_outcome eng ?(budgets = no_budgets) ?(fault = Osim.Fault.none) s =
+let run_outcome_ambient eng ~budgets ~fault s =
   (* Shared-artifact resolution happens before the snapshot: cache
      traffic must not differ between a cold and a warm engine run, and
      space acquisition (pool reset) must not touch per-run counters. *)
@@ -395,8 +395,21 @@ let run_outcome eng ?(budgets = no_budgets) ?(fault = Osim.Fault.none) s =
               stats;
               hot_blocks }))
 
-let run eng ?budgets ?fault s =
-  match run_outcome eng ?budgets ?fault s with
+(* [?trace] scopes a sink to this one session: installed before the
+   first "phase" line, flushed and removed on every exit path.  Without
+   it the ambient sink (whatever the caller installed) is used, so the
+   existing golden-trace paths are unchanged. *)
+let run_outcome eng ?(budgets = no_budgets) ?(fault = Osim.Fault.none) ?trace s
+    =
+  match trace with
+  | None -> run_outcome_ambient eng ~budgets ~fault s
+  | Some target ->
+    Obs.Trace.install target;
+    Fun.protect ~finally:Obs.Trace.disable (fun () ->
+        run_outcome_ambient eng ~budgets ~fault s)
+
+let run eng ?budgets ?fault ?trace s =
+  match run_outcome eng ?budgets ?fault ?trace s with
   | Ok r -> r
   | Error e -> raise (Error.Error_exn e)
 

@@ -152,6 +152,12 @@ val fork : t -> t
     injects deterministic syscall faults.  Each call increments
     [session.outcome.<kind>].
 
+    [trace] scopes a sink to this session: the engine installs it
+    before the first trace line, and flushes + removes it on every exit
+    path (including session-path failures, so a crashed run's partial
+    trace still reaches the destination).  Without [trace] the ambient
+    {!Obs.Trace} sink — whatever the caller installed — is used.
+
     Reusing the engine across calls reuses its compiled policy and
     linked-image cache (counted under [engine.images.hits]/[.misses],
     outside per-run stats); results are identical to cold runs. *)
@@ -159,13 +165,20 @@ val run_outcome :
   t ->
   ?budgets:budgets ->
   ?fault:Osim.Fault.plan ->
+  ?trace:Obs.Trace.target ->
   setup ->
   (result, Error.t) Stdlib.result
 
 (** [run engine setup] is {!run_outcome} for callers that treat failure
     as exceptional.
     @raise Error.Error_exn on any session-path failure. *)
-val run : t -> ?budgets:budgets -> ?fault:Osim.Fault.plan -> setup -> result
+val run :
+  t ->
+  ?budgets:budgets ->
+  ?fault:Osim.Fault.plan ->
+  ?trace:Obs.Trace.target ->
+  setup ->
+  result
 
 (** [run_unmonitored setup] executes with a null monitor — the baseline
     for the Section 9 performance comparison.  Shares the engine path's

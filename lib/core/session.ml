@@ -44,7 +44,7 @@ let no_budgets = Engine.no_budgets
 let parse_budgets = Engine.parse_budgets
 
 let run_outcome ?monitor_config ?trust ?thresholds ?auto_kill ?policy
-    ?budgets ?fault s =
+    ?budgets ?fault ?trace s =
   let eng =
     (* mem_pool_cap:0 — a single-use engine must not retain recycled
        address spaces; that only keeps dead megabytes alive until the
@@ -52,13 +52,13 @@ let run_outcome ?monitor_config ?trust ?thresholds ?auto_kill ?policy
     Engine.create ?monitor_config ?trust ?thresholds ?auto_kill ?policy
       ~mem_pool_cap:0 ()
   in
-  Engine.run_outcome eng ?budgets ?fault s
+  Engine.run_outcome eng ?budgets ?fault ?trace s
 
 let run ?monitor_config ?trust ?thresholds ?auto_kill ?policy ?budgets ?fault
-    s =
+    ?trace s =
   match
     run_outcome ?monitor_config ?trust ?thresholds ?auto_kill ?policy
-      ?budgets ?fault s
+      ?budgets ?fault ?trace s
   with
   | Ok r -> r
   | Error e -> raise (Error.Error_exn e)

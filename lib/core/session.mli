@@ -94,8 +94,10 @@ val parse_budgets : string list -> (budgets, string) Stdlib.result
     instead of aborting the process.  [monitor_config] tunes Harrier
     (ablations turn dataflow/frequency/short-circuiting off); [trust],
     [thresholds] and [auto_kill] configure Secpert; [budgets] bounds the
-    run's resources; [fault] injects deterministic syscall faults.
-    Each call increments [session.outcome.<kind>]. *)
+    run's resources; [fault] injects deterministic syscall faults;
+    [trace] scopes a sink to this session (see
+    {!Engine.run_outcome}).  Each call increments
+    [session.outcome.<kind>]. *)
 val run_outcome :
   ?monitor_config:Harrier.Monitor.config ->
   ?trust:Secpert.Trust.t ->
@@ -104,6 +106,7 @@ val run_outcome :
   ?policy:Secpert.System.policy ->
   ?budgets:budgets ->
   ?fault:Osim.Fault.plan ->
+  ?trace:Obs.Trace.target ->
   setup ->
   (result, Error.t) Stdlib.result
 
@@ -118,6 +121,7 @@ val run :
   ?policy:Secpert.System.policy ->
   ?budgets:budgets ->
   ?fault:Osim.Fault.plan ->
+  ?trace:Obs.Trace.target ->
   setup ->
   result
 

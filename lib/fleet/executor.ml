@@ -29,13 +29,15 @@ type job = {
   j_budgets : Hth.Engine.budgets;
   j_fault : Osim.Fault.plan;
   j_trace : bool;
+  j_store : bool;
   j_deadline : float option;  (* wall-clock seconds *)
 }
 
 let job ?(engine = "default") ?(budgets = Hth.Engine.no_budgets)
-    ?(fault = Osim.Fault.none) ?(trace = false) ?deadline setup =
+    ?(fault = Osim.Fault.none) ?(trace = false) ?(store = false) ?deadline
+    setup =
   { j_engine = engine; j_setup = setup; j_budgets = budgets;
-    j_fault = fault; j_trace = trace; j_deadline = deadline }
+    j_fault = fault; j_trace = trace; j_store = store; j_deadline = deadline }
 
 let with_deadline j seconds = { j with j_deadline = Some seconds }
 
@@ -44,6 +46,7 @@ let deadline j = j.j_deadline
 type outcome = {
   o_seq : int;
   o_trace : string option;
+  o_segment : Store.Segment.sealed option;
   o_result : (Hth.Engine.result, Hth.Error.t) Stdlib.result;
 }
 
@@ -131,6 +134,7 @@ let run_one t job seq w epoch =
     post t seq
       { o_seq = seq;
         o_trace = None;
+        o_segment = None;
         o_result =
           Error
             (Hth.Error.Policy_error
@@ -142,22 +146,35 @@ let run_one t job seq w epoch =
         rw_started = Unix.gettimeofday (); rw_deadline = job.j_deadline };
     Mutex.unlock t.mu;
     let buf = if job.j_trace then Some (Buffer.create 4096) else None in
-    Option.iter Obs.Trace.to_buffer buf;
+    let writer =
+      if job.j_store then Some (Store.Segment.Writer.create ()) else None
+    in
+    (* the engine owns the sink lifecycle ([?trace]); with both capture
+       kinds requested, one chunked sink tees into buffer and writer so
+       the bytes are identical by construction *)
+    let trace =
+      match (buf, writer) with
+      | None, None -> None
+      | Some b, None -> Some (Obs.Trace.buffer_target b)
+      | None, Some w -> Some (Store.Segment.Writer.target w)
+      | Some b, Some w ->
+        Some
+          (Obs.Trace.chunk_target (fun chunk ->
+               Buffer.add_string b chunk;
+               Store.Segment.Writer.add_chunk w chunk))
+    in
     let result =
-      Fun.protect
-        ~finally:(fun () -> if job.j_trace then Obs.Trace.disable ())
-        (fun () ->
-          try
-            Hth.Engine.run_outcome eng ~budgets:job.j_budgets
-              ~fault:job.j_fault job.j_setup
-          with exn ->
-            Error
-              (Hth.Error.Crash
-                 { phase = "fleet"; exn = Printexc.to_string exn }))
+      try
+        Hth.Engine.run_outcome eng ~budgets:job.j_budgets ~fault:job.j_fault
+          ?trace job.j_setup
+      with exn ->
+        Error
+          (Hth.Error.Crash { phase = "fleet"; exn = Printexc.to_string exn })
     in
     post t seq
       { o_seq = seq;
         o_trace = Option.map Buffer.contents buf;
+        o_segment = Option.map Store.Segment.Writer.seal writer;
         o_result = result }
 
 let try_submit t job =
@@ -236,6 +253,7 @@ let force_timeout t seq =
         Hashtbl.replace t.ready seq
           { o_seq = seq;
             o_trace = None;
+            o_segment = None;
             o_result =
               Error
                 (Hth.Error.Timeout

@@ -24,14 +24,17 @@ type job
 (** [job setup] describes one session: [engine] names which of the
     executor's engines runs it (default ["default"]); [budgets],
     [fault] as in {!Hth.Engine.run_outcome}; [trace] captures the
-    session's JSONL trace into the outcome; [deadline] is a wall-clock
-    budget in seconds enforced by a supervisor calling
-    {!force_timeout} (the executor itself never watches the clock). *)
+    session's JSONL trace into the outcome; [store] captures it as a
+    sealed warehouse segment instead (both may be set — one chunked
+    sink tees, so the bytes agree); [deadline] is a wall-clock budget
+    in seconds enforced by a supervisor calling {!force_timeout} (the
+    executor itself never watches the clock). *)
 val job :
   ?engine:string ->
   ?budgets:Hth.Engine.budgets ->
   ?fault:Osim.Fault.plan ->
   ?trace:bool ->
+  ?store:bool ->
   ?deadline:float ->
   Hth.Engine.setup ->
   job
@@ -44,6 +47,10 @@ val deadline : job -> float option
 type outcome = {
   o_seq : int;  (** the sequence number {!submit} returned *)
   o_trace : string option;  (** JSONL trace bytes when [trace:true] *)
+  o_segment : Store.Segment.sealed option;
+      (** sealed segment when [store:true] — the coordinator appends
+          these to a {!Store.Warehouse.t} in release order, which makes
+          the manifest deterministic across worker counts *)
   o_result : (Hth.Engine.result, Hth.Error.t) Stdlib.result;
       (** typed per-session outcome; a job naming an unknown engine
           yields [Error (Policy_error _)], an escaped exception

@@ -15,7 +15,14 @@
    Fields: [scenario] (required), [policy] "native"|"clips" (default
    native), [seed] int or [fault_plan] string (mutually exclusive),
    [budget] "KEY=N,KEY=N", [id] echoed back verbatim, [op]
-   "run" (default) | "health" | "stats".
+   "run" (default) | "health" | "stats" | "store_stats".
+
+   With a warehouse attached ([create ?store]) every run request also
+   produces a sealed trace segment; the collector — the sole consumer
+   of Supervisor.next — appends it before emitting the response, so
+   the manifest is the single-writer append log the warehouse
+   requires, and a response line in hand implies the run is already
+   durable in the store.
 
    One response line per request, in that connection's input order,
    whatever order the fleet finished them in:
@@ -97,12 +104,18 @@ type request = {
   r_scenario : string;
   r_expected : string;
   r_matches : Hth.Report.verdict -> bool;
+  (* manifest provenance, carried so the collector can describe the
+     run when a warehouse is attached *)
+  r_policy : string;
+  r_seed : int option;
+  r_fault : string option;
 }
 
 type parsed =
   | P_run of request * Executor.job
   | P_health of string option  (* id to echo *)
   | P_stats of string option
+  | P_store_stats of string option
 
 let field_str fields k =
   match List.assoc_opt k fields with
@@ -122,13 +135,14 @@ let ( let* ) = Result.bind
    [default_ticks > 0] gives budget-less sessions a tick budget so a
    runaway-but-ticking guest fails deterministically long before the
    wall-clock watchdog has to get involved. *)
-let parse_request resolver ~default_ticks line =
+let parse_request resolver ~default_ticks ~store line =
   let* fields = Forensics.Jsonl.parse_line line in
   let* op = field_str fields "op" in
   let* id = field_str fields "id" in
   match op with
   | Some "health" -> Ok (P_health id)
   | Some "stats" -> Ok (P_stats id)
+  | Some "store_stats" -> Ok (P_store_stats id)
   | None | Some "run" ->
     let* scenario = field_str fields "scenario" in
     let* scenario =
@@ -174,9 +188,14 @@ let parse_request resolver ~default_ticks line =
          ( { r_id = id;
              r_scenario = scenario;
              r_expected = target.t_expected;
-             r_matches = target.t_matches },
-           Executor.job ~engine ~budgets ~fault target.t_setup ))
-  | Some op -> Error (Printf.sprintf "unsupported op %S (run|health|stats)" op)
+             r_matches = target.t_matches;
+             r_policy = engine;
+             r_seed = seed;
+             r_fault = plan },
+           Executor.job ~engine ~budgets ~fault ~store target.t_setup ))
+  | Some op ->
+    Error
+      (Printf.sprintf "unsupported op %S (run|health|stats|store_stats)" op)
 
 (* ------------------------------------------------------------------ *)
 (* per-connection state: ordered emission + bounded in-flight window   *)
@@ -242,6 +261,9 @@ type service = {
   sv_resolver : resolver;
   sv_default_ticks : int;  (* 0 = off *)
   sv_window : int;
+  sv_store : Store.Warehouse.t option;
+      (* appended to only by the collector; reads (store_stats) take
+         [sv_obs_mu], as does the collector around each append *)
   (* executor sequence -> route; written by a reader right after
      submit, so the collector may momentarily outrun it and waits *)
   sv_mu : Mutex.t;
@@ -355,8 +377,78 @@ let stats_line svc seq id =
             "latency_p95_us", I p95;
             "latency_p99_us", I p99 ])
 
+let store_stats_line svc seq id =
+  match svc.sv_store with
+  | None ->
+    render
+      (("seq", I seq)
+       :: opt_id id [ "status", S "store_stats"; "enabled", B false ])
+  | Some wh ->
+    Mutex.lock svc.sv_obs_mu;
+    let total = Store.Warehouse.total wh in
+    let appended = Store.Warehouse.appended wh in
+    let raw = Store.Warehouse.raw_bytes wh in
+    let framed = Store.Warehouse.framed_bytes wh in
+    Mutex.unlock svc.sv_obs_mu;
+    render
+      (("seq", I seq)
+       :: opt_id id
+            [ "status", S "store_stats";
+              "enabled", B true;
+              "dir", S (Store.Warehouse.dir wh);
+              "runs", I total;
+              "appended", I appended;
+              "raw_bytes", I raw;
+              "framed_bytes", I framed ])
+
 (* ------------------------------------------------------------------ *)
 (* collector: routes global-order outcomes to per-connection emitters  *)
+
+(* Store one outcome's segment before its response is emitted: run id
+   is scenario@eseq (executor sequence — unique and stable for the
+   life of the service), error outcomes are stored too with
+   verdict "error:<kind>" so the warehouse is a complete record of
+   what the fleet was asked to do. *)
+let store_outcome svc (rt : route) (o : Executor.outcome) =
+  match svc.sv_store, o.Executor.o_segment with
+  | None, _ | _, None -> ()
+  | Some wh, Some sealed ->
+    let req = rt.rt_req in
+    let verdict, matched, warnings, distinct, degraded =
+      match o.Executor.o_result with
+      | Ok r ->
+        let v = Hth.Report.verdict r in
+        ( Hth.Report.verdict_label v, req.r_matches v,
+          List.length r.Hth.Engine.warnings,
+          List.length r.Hth.Engine.distinct,
+          r.Hth.Engine.degraded <> [] )
+      | Error e -> "error:" ^ Hth.Error.kind e, false, 0, 0, false
+    in
+    let entry =
+      { Store.Manifest.e_run =
+          Store.Warehouse.sanitize_run req.r_scenario
+          ^ "@" ^ string_of_int o.Executor.o_seq;
+        e_scenario = req.r_scenario;
+        e_policy = req.r_policy;
+        e_seed = req.r_seed;
+        e_fault = req.r_fault;
+        e_verdict = verdict;
+        e_expected = req.r_expected;
+        e_match = matched;
+        e_warnings = warnings;
+        e_distinct = distinct;
+        e_degraded = degraded;
+        e_steps = 0;  (* filled by append *)
+        e_raw_bytes = 0;
+        e_framed_bytes = 0;
+        e_digest =
+          Store.Manifest.digest sealed.Store.Segment.s_index.ix_counters;
+        e_segment = "" }
+    in
+    Mutex.lock svc.sv_obs_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock svc.sv_obs_mu)
+      (fun () -> ignore (Store.Warehouse.append wh ~entry ~sealed))
 
 let collector svc =
   let rec go () =
@@ -364,6 +456,9 @@ let collector svc =
     | None -> ()  (* executor closed and fully drained *)
     | Some o ->
       let rt = take_meta svc o.Executor.o_seq in
+      (* durable before visible: the response line implies the run is
+         already in the warehouse *)
+      store_outcome svc rt o;
       let line =
         match o.Executor.o_result with
         | Ok r -> ok_line rt.rt_seq rt.rt_req r
@@ -380,7 +475,7 @@ let collector svc =
   go ()
 
 let create ?(jobs = 1) ?deadline ?(max_inflight = 256) ?(window = 64)
-    ?(default_ticks = 0) ~resolver () =
+    ?(default_ticks = 0) ?store ~resolver () =
   let native = Hth.Engine.create ~keep_events:false () in
   let clips =
     Hth.Engine.create ~policy:Secpert.System.Clips ~keep_events:false ()
@@ -394,6 +489,7 @@ let create ?(jobs = 1) ?deadline ?(max_inflight = 256) ?(window = 64)
       sv_resolver = resolver;
       sv_default_ticks = max 0 default_ticks;
       sv_window = max 1 window;
+      sv_store = store;
       sv_mu = Mutex.create ();
       sv_cv = Condition.create ();
       sv_meta = Hashtbl.create 64;
@@ -424,11 +520,12 @@ let serve_connection svc ~input ~output () =
     | Some line ->
       (match
          parse_request svc.sv_resolver ~default_ticks:svc.sv_default_ticks
-           line
+           ~store:(Option.is_some svc.sv_store) line
        with
        | Error msg -> conn_emit c k (bad_line k msg)
        | Ok (P_health id) -> conn_emit c k (health_line svc k id)
        | Ok (P_stats id) -> conn_emit c k (stats_line svc k id)
+       | Ok (P_store_stats id) -> conn_emit c k (store_stats_line svc k id)
        | Ok (P_run (req, job)) ->
          (* per-connection window: block the reader — deterministic
             backpressure, response content never depends on timing *)

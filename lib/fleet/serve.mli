@@ -9,9 +9,10 @@
     dialect): [{"scenario":NAME}] plus optional [id] (echoed), [policy]
     (["native"]|["clips"]), [seed] or [fault_plan] (deterministic fault
     injection, mutually exclusive), [budget] (["KEY=N,KEY=N"]), and
-    [op] (["run"] default; ["health"] and ["stats"] answer from the
-    supervisor and the serve telemetry without occupying a fleet
-    slot).  Each request yields exactly one response line, emitted
+    [op] (["run"] default; ["health"], ["stats"] and ["store_stats"]
+    answer from the supervisor, the serve telemetry and the attached
+    warehouse without occupying a fleet slot).  Each request yields
+    exactly one response line, emitted
     {e in that connection's input order} even though sessions run on
     the fleet in whatever order stealing produces.  Malformed lines
     become [{"status":"bad_request"}] responses at their position.
@@ -51,13 +52,22 @@ type service
     bounds each connection's in-flight requests by blocking its
     reader; [default_ticks] (default 0 = off) gives budget-less
     requests a deterministic tick budget so runaway-but-ticking guests
-    fail long before the wall-clock deadline. *)
+    fail long before the wall-clock deadline.
+
+    [store] attaches a trace warehouse: every run request then records
+    a sealed segment plus manifest entry (run id [scenario@seq], error
+    outcomes included as [error:<kind>]), appended by the collector
+    {e before} the response line is emitted — a response in hand means
+    the run is already durable, so a SIGTERM-drained server leaves
+    complete runs or no run, never a torn one.  The warehouse is the
+    caller's to {!Store.Warehouse.close} after {!shutdown}. *)
 val create :
   ?jobs:int ->
   ?deadline:float ->
   ?max_inflight:int ->
   ?window:int ->
   ?default_ticks:int ->
+  ?store:Store.Warehouse.t ->
   resolver:resolver ->
   unit ->
   service

@@ -386,7 +386,25 @@ let absorb x =
 (* Structured-event trace sink                                         *)
 
 module Trace = struct
-  type sink = Noop | Line of (string -> unit)
+  (* Where emitted lines should end up.  A first-class value so callers
+     (the engine, the fleet executor, the segment store) can hand a
+     destination across an API boundary without owning the install /
+     disable lifecycle themselves. *)
+  type target =
+    | T_buffer of Buffer.t
+    | T_chunks of { threshold : int; write : string -> unit }
+
+  (* The installed sink.  [Direct] renders straight into the caller's
+     destination buffer — zero copies, zero per-line allocation.
+     [Chunked] renders into one reused staging buffer and hands
+     line-aligned chunks of at least [threshold] bytes to [write]:
+     channel sinks pay one [output_string] per ~64KiB instead of two
+     system-visible writes per event, and the segment store receives
+     its data frames pre-chunked. *)
+  type sink =
+    | Noop
+    | Direct of Buffer.t
+    | Chunked of { buf : Buffer.t; threshold : int; write : string -> unit }
 
   (* One sink and step index per domain: a fleet worker traces its own
      session into its own buffer without synchronizing with anyone. *)
@@ -398,24 +416,41 @@ module Trace = struct
   let[@inline] state () = Domain.DLS.get state_key
 
   let[@inline] enabled () =
-    match (state ()).sink with Noop -> false | Line _ -> true
+    match (state ()).sink with Noop -> false | Direct _ | Chunked _ -> true
 
-  let install line =
+  let default_chunk = 64 * 1024
+
+  let buffer_target b = T_buffer b
+
+  let chunk_target ?(threshold = default_chunk) write =
+    T_chunks { threshold; write }
+
+  let channel_target oc =
+    chunk_target (fun chunk -> output_string oc chunk)
+
+  let install target =
     let st = state () in
-    st.sink <- Line line;
+    (st.sink <-
+       (match target with
+       | T_buffer b -> Direct b
+       | T_chunks { threshold; write } ->
+         Chunked { buf = Buffer.create (threshold + 512); threshold; write }));
     st.step <- 0
 
-  let to_channel oc =
-    install (fun l ->
-        output_string oc l;
-        output_char oc '\n')
+  let to_channel oc = install (channel_target oc)
+  let to_buffer b = install (buffer_target b)
 
-  let to_buffer b =
-    install (fun l ->
-        Buffer.add_string b l;
-        Buffer.add_char b '\n')
-
-  let disable () = (state ()).sink <- Noop
+  (* Flush-on-disable: a chunked sink may hold a partial chunk; hand it
+     over before dropping the sink so the destination sees every line.
+     Callers that [close_out] after [disable] keep working unchanged. *)
+  let disable () =
+    let st = state () in
+    (match st.sink with
+    | Chunked { buf; write; _ } when Buffer.length buf > 0 ->
+      write (Buffer.contents buf);
+      Buffer.clear buf
+    | Noop | Direct _ | Chunked _ -> ());
+    st.sink <- Noop
 
   let steps () = (state ()).step
 
@@ -441,25 +476,36 @@ module Trace = struct
       add_escaped buf s;
       Buffer.add_char buf '"'
 
+  (* Render one line, newline included, directly into [buf] — the
+     destination itself for [Direct] sinks, the reused staging buffer
+     for [Chunked] ones.  No per-line [Buffer.create], no intermediate
+     [Buffer.contents] string. *)
+  let render buf st ev fields =
+    Buffer.add_string buf "{\"step\":";
+    Buffer.add_string buf (string_of_int st.step);
+    Buffer.add_string buf ",\"ev\":\"";
+    add_escaped buf ev;
+    Buffer.add_char buf '"';
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf ",\"";
+        add_escaped buf k;
+        Buffer.add_string buf "\":";
+        add_value buf v)
+      fields;
+    Buffer.add_char buf '}';
+    Buffer.add_char buf '\n';
+    st.step <- st.step + 1
+
   let emit ev fields =
     let st = state () in
     match st.sink with
     | Noop -> ()
-    | Line out ->
-      let buf = Buffer.create 128 in
-      Buffer.add_string buf "{\"step\":";
-      Buffer.add_string buf (string_of_int st.step);
-      Buffer.add_string buf ",\"ev\":\"";
-      add_escaped buf ev;
-      Buffer.add_char buf '"';
-      List.iter
-        (fun (k, v) ->
-          Buffer.add_string buf ",\"";
-          add_escaped buf k;
-          Buffer.add_string buf "\":";
-          add_value buf v)
-        fields;
-      Buffer.add_char buf '}';
-      st.step <- st.step + 1;
-      out (Buffer.contents buf)
+    | Direct buf -> render buf st ev fields
+    | Chunked { buf; threshold; write } ->
+      render buf st ev fields;
+      if Buffer.length buf >= threshold then begin
+        write (Buffer.contents buf);
+        Buffer.clear buf
+      end
 end

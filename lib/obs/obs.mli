@@ -144,18 +144,39 @@ module Trace : sig
   val emit : string -> (string * value) list -> unit
   (** [emit ev fields] writes one JSONL line
       [{"step":N,"ev":ev,...fields}] and bumps the step index.  No-op
-      (and allocation-free) when no sink is installed. *)
+      (and allocation-free) when no sink is installed.  Lines render
+      into a single reused per-sink buffer — no per-line allocation. *)
+
+  type target
+  (** A first-class sink destination: pass one across an API boundary
+      (e.g. [Hth.Engine.run_outcome ?trace]) so the callee owns the
+      install / flush / disable lifecycle. *)
+
+  val buffer_target : Buffer.t -> target
+  (** Lines render directly into the buffer, newline-terminated. *)
+
+  val channel_target : out_channel -> target
+  (** Lines are staged in a reused buffer and written to the channel in
+      line-aligned chunks of ~64KiB — one [output_string] per chunk
+      instead of per line. *)
+
+  val chunk_target : ?threshold:int -> (string -> unit) -> target
+  (** [chunk_target write] hands [write] line-aligned chunks of at
+      least [threshold] bytes (default 64KiB); the final partial chunk
+      is flushed by {!disable}.  This is how the segment store receives
+      trace bytes pre-framed. *)
+
+  val install : target -> unit
+  (** Install a sink for the calling domain; resets the step index. *)
 
   val to_channel : out_channel -> unit
-  (** Install the JSONL backend writing to a channel; resets the step
-      index. *)
+  (** [install (channel_target oc)]. *)
 
   val to_buffer : Buffer.t -> unit
-  (** Install the JSONL backend writing to a buffer; resets the step
-      index. *)
+  (** [install (buffer_target b)]. *)
 
   val disable : unit -> unit
-  (** Restore the no-op backend. *)
+  (** Flush any staged chunk, then restore the no-op backend. *)
 
   val steps : unit -> int
   (** Events emitted since the current sink was installed. *)

@@ -1,0 +1,182 @@
+let c_fleet_queries = Obs.Counter.make "hth_trace.fleet.queries"
+
+type filter = {
+  q_scenario : string option;
+  q_rule : string option;
+  q_severity : string option;
+  q_resource : string option;
+  q_verdict : string option;
+}
+
+let no_filter =
+  { q_scenario = None; q_rule = None; q_severity = None; q_resource = None;
+    q_verdict = None }
+
+type hit = { h_entry : Manifest.entry; h_steps : int list }
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  if nl = 0 then true
+  else begin
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+    in
+    go 0
+  end
+
+let sort_uniq_steps steps = List.sort_uniq compare steps
+
+(* Fold [f] over the manifest, short-circuiting on the first unreadable
+   segment: a corrupt store must fail the query loudly, not shrink the
+   answer. *)
+let rec map_entries f = function
+  | [] -> Ok []
+  | e :: tl -> (
+    match f e with
+    | Error _ as err -> err
+    | Ok y -> Result.map (fun tl -> y :: tl) (map_entries f tl))
+
+let needs_index q =
+  q.q_rule <> None || q.q_severity <> None || q.q_resource <> None
+
+let query view q =
+  Obs.Counter.incr c_fleet_queries;
+  let match_meta (e : Manifest.entry) =
+    (match q.q_scenario with Some s -> e.e_scenario = s | None -> true)
+    && match q.q_verdict with
+       | Some v -> contains ~needle:v e.e_verdict
+       | None -> true
+  in
+  let candidates = List.filter match_meta view.Warehouse.v_entries in
+  if not (needs_index q) then
+    Ok (List.map (fun e -> { h_entry = e; h_steps = [] }) candidates)
+  else
+    Result.map (List.filter_map Fun.id)
+    @@ map_entries
+         (fun (e : Manifest.entry) ->
+           match Warehouse.read_index view e with
+           | Error _ as err -> err
+           | Ok ix ->
+             let warn_steps pred =
+               List.filter_map
+                 (fun (w : Segment.warning) ->
+                   if pred w then Some w.w_step else None)
+                 ix.Segment.ix_warnings
+             in
+             let rule_steps =
+               Option.map
+                 (fun r -> warn_steps (fun w -> w.Segment.w_rule = r))
+                 q.q_rule
+             in
+             let sev_steps =
+               Option.map
+                 (fun s -> warn_steps (fun w -> w.Segment.w_severity = s))
+                 q.q_severity
+             in
+             let name_steps =
+               Option.map
+                 (fun needle ->
+                   List.concat_map
+                     (fun (name, steps) ->
+                       if contains ~needle name then steps else [])
+                     ix.Segment.ix_names)
+                 q.q_resource
+             in
+             (* every given predicate must have evidence *)
+             let dead = function Some [] -> true | _ -> false in
+             if dead rule_steps || dead sev_steps || dead name_steps then
+               Ok None
+             else
+               let steps =
+                 List.concat_map
+                   (function Some l -> l | None -> [])
+                   [ rule_steps; sev_steps; name_steps ]
+               in
+               Ok (Some { h_entry = e; h_steps = sort_uniq_steps steps }))
+         candidates
+
+type block = { b_pid : int; b_addr : int; b_count : int; b_runs : int }
+
+let profile view =
+  Obs.Counter.incr c_fleet_queries;
+  let acc : (int * int, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  match
+    map_entries
+      (fun e ->
+        match Warehouse.read_index view e with
+        | Error _ as err -> err
+        | Ok ix ->
+          List.iter
+            (fun (pid, addr, count) ->
+              match Hashtbl.find_opt acc (pid, addr) with
+              | Some (total, runs) ->
+                total := !total + count;
+                incr runs
+              | None -> Hashtbl.add acc (pid, addr) (ref count, ref 1))
+            ix.Segment.ix_blocks;
+          Ok ())
+      view.Warehouse.v_entries
+  with
+  | Error _ as err -> err
+  | Ok _ ->
+    Hashtbl.fold
+      (fun (b_pid, b_addr) (total, runs) l ->
+        { b_pid; b_addr; b_count = !total; b_runs = !runs } :: l)
+      acc []
+    |> List.sort (fun a b ->
+           match compare b.b_count a.b_count with
+           | 0 -> compare (a.b_pid, a.b_addr) (b.b_pid, b.b_addr)
+           | c -> c)
+    |> Result.ok
+
+type drift = { d_name : string; d_value : int; d_median : int }
+
+let diff view ~run =
+  Obs.Counter.incr c_fleet_queries;
+  match Warehouse.find view run with
+  | None ->
+    Error
+      (Hth.Error.Load_failure
+         { path = view.Warehouse.v_dir; reason = "no such run: " ^ run })
+  | Some target -> (
+    match
+      map_entries
+        (fun e ->
+          Result.map
+            (fun (ix : Segment.index) -> (e, ix.ix_counters))
+            (Warehouse.read_index view e))
+        view.Warehouse.v_entries
+    with
+    | Error _ as err -> err
+    | Ok per_run ->
+      let mine =
+        match
+          List.find_opt
+            (fun ((e : Manifest.entry), _) -> e.e_run = target.e_run)
+            per_run
+        with
+        | Some (_, counters) -> counters
+        | None -> []
+      in
+      let names =
+        List.concat_map (fun (_, cs) -> List.map fst cs) per_run
+        |> List.sort_uniq String.compare
+      in
+      let fleet = List.map snd per_run in
+      let value counters name =
+        match List.assoc_opt name counters with Some v -> v | None -> 0
+      in
+      (* lower median: deterministic for even run counts *)
+      let median name =
+        let vs = List.sort compare (List.map (fun cs -> value cs name) fleet) in
+        List.nth vs ((List.length vs - 1) / 2)
+      in
+      let drifts =
+        List.filter_map
+          (fun name ->
+            let v = value mine name and m = median name in
+            if v = m then None
+            else Some { d_name = name; d_value = v; d_median = m })
+          names
+      in
+      Ok (drifts, List.length names))

@@ -1,0 +1,47 @@
+(** Cross-run queries over a warehouse — the fleet-forensics surface
+    behind [hth_trace fleet ...].
+
+    Everything here reads manifests and segment {e indexes} only: no
+    data frame is ever decompressed, so cost scales with index size,
+    not trace size.  All results are in deterministic orders (manifest
+    order, then explicit sort keys), so two independently built stores
+    of the same corpus answer byte-identically.
+
+    Each call increments [hth_trace.fleet.queries]. *)
+
+type filter = {
+  q_scenario : string option;  (** exact scenario name *)
+  q_rule : string option;  (** a warning with this rule fired *)
+  q_severity : string option;  (** a warning with this severity fired *)
+  q_resource : string option;
+      (** substring of an indexed resource/name — e.g. [execve] finds
+          every session whose tainted data reached an exec *)
+  q_verdict : string option;  (** substring of the verdict label *)
+}
+
+val no_filter : filter
+
+type hit = {
+  h_entry : Manifest.entry;
+  h_steps : int list;
+      (** evidence steps: warning steps for rule/severity predicates,
+          naming-flow steps for resource predicates; sorted, deduped *)
+}
+
+val query : Warehouse.view -> filter -> (hit list, Hth.Error.t) result
+(** Runs satisfying {e all} given predicates, manifest order. *)
+
+type block = { b_pid : int; b_addr : int; b_count : int; b_runs : int }
+(** A hot block aggregated fleet-wide: total hits and the number of
+    runs reporting it. *)
+
+val profile : Warehouse.view -> (block list, Hth.Error.t) result
+(** All blocks, hottest first (count desc, then pid, addr). *)
+
+type drift = { d_name : string; d_value : int; d_median : int }
+
+val diff : Warehouse.view -> run:string -> (drift list * int, Hth.Error.t) result
+(** [diff view ~run] compares the run's embedded counter profile
+    against the fleet median (lower median over every run, absent
+    counters counting 0): the counters that differ, name order, plus
+    how many counters were compared. *)

@@ -1,0 +1,78 @@
+let magic = "HTHSEG1\n"
+
+type kind = Data | Index | End
+
+type t = { f_kind : kind; f_compressed : bool; f_stored : string }
+
+(* adler-32 (RFC 1950): sums can run 5552 bytes before 32-bit-ish
+   overflow, so reduce mod 65521 once per block, not per byte. *)
+let adler32 s =
+  let n = String.length s in
+  let a = ref 1 and b = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let stop = min n (!i + 5552) in
+    while !i < stop do
+      a := !a + Char.code (String.unsafe_get s !i);
+      b := !b + !a;
+      incr i
+    done;
+    a := !a mod 65521;
+    b := !b mod 65521
+  done;
+  (!b lsl 16) lor !a
+
+let kind_char = function Data -> 'D' | Index -> 'X' | End -> 'E'
+
+let add_u32 buf v =
+  Buffer.add_char buf (Char.unsafe_chr (v land 0xff));
+  Buffer.add_char buf (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.unsafe_chr ((v lsr 24) land 0xff))
+
+let get_u32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let add_raw buf ~kind ~compressed stored =
+  Buffer.add_char buf (kind_char kind);
+  Buffer.add_char buf (if compressed then '\001' else '\000');
+  add_u32 buf (String.length stored);
+  add_u32 buf (adler32 stored);
+  Buffer.add_string buf stored
+
+let add buf ~kind payload =
+  let z = Deflate.compress payload in
+  if String.length z < String.length payload then
+    add_raw buf ~kind ~compressed:true z
+  else add_raw buf ~kind ~compressed:false payload
+
+let read s ~pos =
+  let n = String.length s in
+  if pos + 10 > n then Error "truncated frame header"
+  else
+    match s.[pos] with
+    | ('D' | 'X' | 'E') as k ->
+      let kind = match k with 'D' -> Data | 'X' -> Index | _ -> End in
+      let flags = Char.code s.[pos + 1] in
+      if flags land lnot 1 <> 0 then
+        Error (Printf.sprintf "unknown frame flags 0x%02x" flags)
+      else begin
+        let len = get_u32 s (pos + 2) in
+        let sum = get_u32 s (pos + 6) in
+        if len < 0 || pos + 10 + len > n then Error "truncated frame payload"
+        else
+          let stored = String.sub s (pos + 10) len in
+          if adler32 stored <> sum then Error "frame checksum mismatch"
+          else
+            Ok
+              ( { f_kind = kind; f_compressed = flags land 1 = 1;
+                  f_stored = stored },
+                pos + 10 + len )
+      end
+    | c -> Error (Printf.sprintf "bad frame kind byte 0x%02x" (Char.code c))
+
+let payload f =
+  if f.f_compressed then Deflate.decompress f.f_stored else Ok f.f_stored

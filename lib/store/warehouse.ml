@@ -1,0 +1,173 @@
+let manifest_name = "MANIFEST.jsonl"
+let segments_dir = "segments"
+
+let sanitize_run s =
+  String.map (function '/' | ' ' -> '_' | c -> c) s
+
+type t = {
+  t_dir : string;
+  t_oc : out_channel;
+  t_runs : (string, unit) Hashtbl.t;
+  mutable t_total : int;
+  mutable t_appended : int;
+  mutable t_raw_bytes : int;  (* appended through this handle *)
+  mutable t_framed_bytes : int;
+}
+
+let dir t = t.t_dir
+let total t = t.t_total
+let appended t = t.t_appended
+let raw_bytes t = t.t_raw_bytes
+let framed_bytes t = t.t_framed_bytes
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let ensure_dir path =
+  if not (Sys.file_exists path) then Sys.mkdir path 0o755
+  else if not (Sys.is_directory path) then
+    raise (Sys_error (path ^ ": not a directory"))
+
+let load_manifest path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    read_file path |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+    |> List.fold_left
+         (fun acc line ->
+           match acc with
+           | Error _ -> acc
+           | Ok entries -> (
+             match Manifest.parse line with
+             | Ok e -> Ok (e :: entries)
+             | Error reason ->
+               Error (Hth.Error.Load_failure { path; reason })))
+         (Ok [])
+    |> Result.map List.rev
+
+let open_ dir =
+  match
+    ensure_dir dir;
+    ensure_dir (Filename.concat dir segments_dir);
+    load_manifest (Filename.concat dir manifest_name)
+  with
+  | exception Sys_error reason ->
+    Error (Hth.Error.Load_failure { path = dir; reason })
+  | Error _ as e -> e
+  | Ok entries ->
+    let t_runs = Hashtbl.create 64 in
+    List.iter (fun (e : Manifest.entry) ->
+        Hashtbl.replace t_runs e.e_run ()) entries;
+    let t_oc =
+      open_out_gen
+        [ Open_append; Open_creat; Open_binary ]
+        0o644
+        (Filename.concat dir manifest_name)
+    in
+    Ok
+      { t_dir = dir; t_oc; t_runs; t_total = List.length entries;
+        t_appended = 0; t_raw_bytes = 0; t_framed_bytes = 0 }
+
+let fresh_run_id t wanted =
+  let wanted = sanitize_run wanted in
+  if not (Hashtbl.mem t.t_runs wanted) then wanted
+  else begin
+    let n = ref 2 in
+    while Hashtbl.mem t.t_runs (Printf.sprintf "%s~%d" wanted !n) do
+      incr n
+    done;
+    Printf.sprintf "%s~%d" wanted !n
+  end
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc bytes)
+
+let append t ~entry ~sealed =
+  let run = fresh_run_id t entry.Manifest.e_run in
+  let rel = Filename.concat segments_dir (run ^ ".seg") in
+  let final = Filename.concat t.t_dir rel in
+  let tmp = Filename.concat t.t_dir
+      (Filename.concat segments_dir ("." ^ run ^ ".seg.tmp"))
+  in
+  write_file tmp sealed.Segment.s_bytes;
+  Sys.rename tmp final;
+  let entry =
+    { entry with
+      Manifest.e_run = run; e_steps = sealed.Segment.s_steps;
+      e_raw_bytes = sealed.Segment.s_raw_bytes;
+      e_framed_bytes = String.length sealed.Segment.s_bytes;
+      e_segment = rel }
+  in
+  (* the manifest line publishes the run; flush so a kill after this
+     point can only lose runs, never tear one *)
+  output_string t.t_oc (Manifest.render entry);
+  flush t.t_oc;
+  Hashtbl.replace t.t_runs run ();
+  t.t_total <- t.t_total + 1;
+  t.t_appended <- t.t_appended + 1;
+  t.t_raw_bytes <- t.t_raw_bytes + sealed.Segment.s_raw_bytes;
+  t.t_framed_bytes <- t.t_framed_bytes + String.length sealed.Segment.s_bytes;
+  entry
+
+let close t = close_out_noerr t.t_oc
+
+(* ------------------------------------------------------------------ *)
+(* Read side                                                           *)
+
+type view = { v_dir : string; v_entries : Manifest.entry list }
+
+let load dir =
+  let path = Filename.concat dir manifest_name in
+  if not (Sys.file_exists dir) then
+    Error
+      (Hth.Error.Load_failure { path = dir; reason = "no such store directory" })
+  else if not (Sys.file_exists path) then
+    Error (Hth.Error.Load_failure { path; reason = "no manifest in store" })
+  else
+    match load_manifest path with
+    | Error _ as e -> e
+    | Ok v_entries -> Ok { v_dir = dir; v_entries }
+
+let find view run =
+  match
+    List.find_opt (fun (e : Manifest.entry) -> e.e_run = run) view.v_entries
+  with
+  | Some _ as hit -> hit
+  | None ->
+    (* convenience: accept the raw scenario name if it sanitizes to a
+       unique run id *)
+    let s = sanitize_run run in
+    List.find_opt (fun (e : Manifest.entry) -> e.e_run = s) view.v_entries
+
+let segment_bytes view (entry : Manifest.entry) =
+  let path = Filename.concat view.v_dir entry.e_segment in
+  if not (Sys.file_exists path) then
+    Error
+      (Hth.Error.Load_failure { path; reason = "segment file missing" })
+  else
+    match read_file path with
+    | bytes -> Ok (path, bytes)
+    | exception Sys_error reason ->
+      Error (Hth.Error.Load_failure { path; reason })
+
+let raw_trace view entry =
+  match segment_bytes view entry with
+  | Error _ as e -> e
+  | Ok (path, bytes) ->
+    Result.map
+      (fun (l : Segment.loaded) -> l.l_raw)
+      (Segment.load ~path bytes)
+
+let read_index view entry =
+  match segment_bytes view entry with
+  | Error _ as e -> e
+  | Ok (path, bytes) ->
+    Result.map
+      (fun (ix, _, _) -> ix)
+      (Segment.load_index ~path bytes)

@@ -233,5 +233,112 @@ done
 [ "$status" -eq 0 ] \
   && echo "  ok: serve resilience (disconnects, SIGTERM drain, 3 iterations)"
 
+echo "== store-determinism gate =="
+# The trace warehouse contract (DESIGN.md §18): two independently
+# built stores — a 1-worker and a 2-worker batch sweep — must be
+# byte-identical down to every segment file; per-run answers from the
+# store must match the JSONL-file path byte for byte; and the fleet
+# query surface must answer byte-identically from either build.
+run_exe=_build/default/bin/hth_run.exe
+trace_exe=_build/default/bin/hth_trace.exe
+dune build bin/hth_run.exe bin/hth_trace.exe
+"$run_exe" batch --jobs 1 --store "$tmp/store1" > /dev/null
+"$run_exe" batch --jobs 2 --store "$tmp/store2" > /dev/null
+if diff -r "$tmp/store1" "$tmp/store2" >/dev/null; then
+  echo "  ok: batch --jobs 2 store byte-identical to --jobs 1"
+else
+  echo "  STORE NONDETERMINISM: --jobs 2 store diverged from --jobs 1" >&2
+  diff -r "$tmp/store1" "$tmp/store2" | head -10 >&2 || true
+  status=1
+fi
+
+# store-vs-file answers: one run teed to both destinations, every
+# per-run analysis compared byte for byte
+"$run_exe" run pma --trace "$tmp/pma.tee.jsonl" --store "$tmp/store.tee" \
+  > /dev/null
+store_file_ok=1
+for c in explain profile; do
+  "$trace_exe" "$c" "$tmp/pma.tee.jsonl" > "$tmp/pma.$c.file"
+  "$trace_exe" "$c" --store "$tmp/store.tee" pma > "$tmp/pma.$c.store"
+  if ! cmp -s "$tmp/pma.$c.file" "$tmp/pma.$c.store"; then
+    echo "  STORE ANSWER DIVERGED: $c (file vs warehouse)" >&2
+    store_file_ok=0
+    status=1
+  fi
+done
+"$trace_exe" query "$tmp/pma.tee.jsonl" --ev flow > "$tmp/pma.query.file"
+"$trace_exe" query --store "$tmp/store.tee" pma --ev flow \
+  > "$tmp/pma.query.store"
+if ! cmp -s "$tmp/pma.query.file" "$tmp/pma.query.store"; then
+  echo "  STORE ANSWER DIVERGED: query (file vs warehouse)" >&2
+  store_file_ok=0
+  status=1
+fi
+# reconstructed trace must byte-equal the teed file: self-diff exits 0
+if ! "$trace_exe" diff --store "$tmp/store.tee" pma pma > /dev/null; then
+  echo "  STORE ANSWER DIVERGED: self-diff nonzero" >&2
+  store_file_ok=0
+  status=1
+fi
+[ "$store_file_ok" -eq 1 ] \
+  && echo "  ok: explain/query/profile/diff identical from file and store"
+
+# the fleet surface, from both builds
+fleet_ok=1
+for q in ls "query --severity HIGH" "query --resource SYS_execve" \
+         "profile --top 5" "diff pma"; do
+  # shellcheck disable=SC2086
+  "$trace_exe" fleet $q --store "$tmp/store1" > "$tmp/fleetq.1"
+  # shellcheck disable=SC2086
+  "$trace_exe" fleet $q --store "$tmp/store2" > "$tmp/fleetq.2"
+  if ! cmp -s "$tmp/fleetq.1" "$tmp/fleetq.2"; then
+    echo "  FLEET QUERY DIVERGED ACROSS BUILDS: fleet $q" >&2
+    status=1
+    fleet_ok=0
+  fi
+done
+[ "$fleet_ok" -eq 1 ] \
+  && echo "  ok: fleet ls/query/profile/diff byte-identical across builds"
+
+# SIGTERM under load with a store attached: appends are
+# publish-atomic and ordered before response emission, so the drained
+# store must hold exactly one complete, readable run per drained
+# response — never a torn segment
+sock="$tmp/hth.store.sock"
+"$serve_exe" --socket "$sock" --jobs 2 --deadline 30 \
+  --store "$tmp/store.srv" 2> "$tmp/serve_store.log" &
+srv=$!
+n=0
+while [ ! -S "$sock" ] && [ "$n" -lt 100 ]; do
+  sleep 0.05
+  n=$((n + 1))
+done
+"$client_exe" --socket "$sock" < "$tmp/load.jobs" > "$tmp/load.store" &
+cli=$!
+sleep 0.3
+kill -TERM "$srv"
+wait "$cli" || true
+if wait "$srv"; then :; else
+  echo "  STORE DRAIN: server exit code $? after SIGTERM" >&2
+  status=1
+fi
+drained=$(wc -l < "$tmp/load.store")
+stored=$(wc -l < "$tmp/store.srv/MANIFEST.jsonl")
+if [ "$stored" != "$drained" ]; then
+  echo "  STORE DRAIN: $stored stored runs vs $drained drained responses" >&2
+  status=1
+fi
+# every manifest entry's segment index must load (profile touches all),
+# and a full segment reconstruction must round-trip
+if "$trace_exe" fleet profile --store "$tmp/store.srv" > /dev/null \
+   && { [ "$stored" -eq 0 ] \
+        || "$trace_exe" profile --store "$tmp/store.srv" pma@0 > /dev/null; }
+then
+  echo "  ok: SIGTERM-drained store complete-or-absent ($stored runs)"
+else
+  echo "  STORE DRAIN: drained store failed to read back" >&2
+  status=1
+fi
+
 [ "$status" -eq 0 ] && echo "all checks passed"
 exit "$status"

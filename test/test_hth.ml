@@ -33,6 +33,7 @@ let () =
       "fleet", Test_fleet.suite;
       "supervise", Test_supervise.suite;
       "dormant", Test_dormant.suite;
+      "store", Test_store.suite;
       "table1",
       [ Alcotest.test_case "smoke" `Quick
           (run_group Guest.Characterize.scenarios) ];
