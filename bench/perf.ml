@@ -17,16 +17,23 @@ let sp = Taint.Space.create ()
    instructions), so per-instruction monitoring dominates. *)
 let workload () = Guest.Perf_workload.scenario ~iters:100
 
+(* The ablation ladder measures pure interpretation ([tier = false]) so
+   each increment isolates one monitoring feature; the final row turns
+   tiered block compilation back on to show the summary fast path
+   recovering most of the dataflow cost. *)
 let bare_config =
   { Harrier.Monitor.default_config with track_dataflow = false;
-    track_frequency = false; shortcircuit = [] }
+    track_frequency = false; shortcircuit = []; tier = false }
 
 let freq_config =
   { Harrier.Monitor.default_config with track_dataflow = false;
-    shortcircuit = [] }
+    shortcircuit = []; tier = false }
 
 let dataflow_config =
-  { Harrier.Monitor.default_config with track_frequency = false }
+  { Harrier.Monitor.default_config with track_frequency = false;
+    tier = false }
+
+let full_config = { Harrier.Monitor.default_config with tier = false }
 
 let session_tests () =
   let sc = workload () in
@@ -42,7 +49,8 @@ let session_tests () =
       Test.make ~name:"+syscall monitor" (Staged.stage (run_with bare_config));
       Test.make ~name:"+bb frequency" (Staged.stage (run_with freq_config));
       Test.make ~name:"+dataflow" (Staged.stage (run_with dataflow_config));
-      Test.make ~name:"full HTH"
+      Test.make ~name:"full HTH" (Staged.stage (run_with full_config));
+      Test.make ~name:"full HTH (tiered)"
         (Staged.stage (run_with Harrier.Monitor.default_config)) ]
 
 (* native vs textual-CLIPS policy throughput on the same event stream *)

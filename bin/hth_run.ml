@@ -42,6 +42,34 @@ let no_shortcircuit_flag =
   let doc = "Disable library-call short-circuiting (gethostbyname)." in
   Arg.(value & flag & info [ "no-shortcircuit" ] ~doc)
 
+let no_tier_flag =
+  let doc =
+    "Disable tiered block execution: every basic block is interpreted \
+     per-instruction (tier 0) instead of promoting hot blocks to \
+     compiled bodies with fused taint summaries.  Traces are \
+     byte-identical either way; this flag only trades speed.  The \
+     HTH_TIER environment variable set to 0 has the same effect."
+  in
+  Arg.(value & flag & info [ "no-tier" ] ~doc)
+
+let tier_threshold_arg =
+  let doc =
+    Printf.sprintf
+      "Promote a basic block to tier 1 after it has been entered $(docv) \
+       times (default %d).  1 compiles every block on first entry."
+      Harrier.Monitor.default_config.tier_threshold
+  in
+  Arg.(
+    value
+    & opt int Harrier.Monitor.default_config.tier_threshold
+    & info [ "tier-threshold" ] ~docv:"N" ~doc)
+
+(* --no-tier, or HTH_TIER=0 in the environment (handy for A/B runs of
+   whole test suites without threading a flag everywhere) *)
+let tier_enabled no_tier =
+  (not no_tier)
+  && (match Sys.getenv_opt "HTH_TIER" with Some "0" -> false | _ -> true)
+
 let trust_nothing_flag =
   let doc = "Empty the trust database (libc warnings included)." in
   Arg.(value & flag & info [ "trust-nothing" ] ~doc)
@@ -183,9 +211,9 @@ let budgets_of specs =
     Printf.eprintf "%s\n" e;
     exit 2
 
-let run_scenario name events no_dataflow no_freq no_shortcircuit
-    trust_nothing clips verbose kill_at trace_file stats fault_plan seed
-    budget_specs store_dir =
+let run_scenario name events no_dataflow no_freq no_shortcircuit no_tier
+    tier_threshold trust_nothing clips verbose kill_at trace_file stats
+    fault_plan seed budget_specs store_dir =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -201,7 +229,9 @@ let run_scenario name events no_dataflow no_freq no_shortcircuit
         track_frequency = not no_freq;
         shortcircuit =
           (if no_shortcircuit then []
-           else Harrier.Monitor.default_config.shortcircuit) }
+           else Harrier.Monitor.default_config.shortcircuit);
+        tier = tier_enabled no_tier;
+        tier_threshold }
     in
     let trust =
       if trust_nothing then Secpert.Trust.nothing else Secpert.Trust.default
@@ -269,6 +299,7 @@ let run_scenario name events no_dataflow no_freq no_shortcircuit
        Fmt.pr "%a@." Osim.Kernel.pp_report r.os_report;
        if stats then begin
          Fmt.pr "%a@." Hth.Report.pp_stats r.stats;
+         Fmt.pr "%a@." Hth.Report.pp_tier r.tier;
          Fmt.pr "%a@." Hth.Report.pp_hot_blocks r.hot_blocks
        end;
        if
@@ -281,7 +312,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_scenario $ scenario_arg $ events_flag $ no_dataflow_flag
-      $ no_freq_flag $ no_shortcircuit_flag $ trust_nothing_flag
+      $ no_freq_flag $ no_shortcircuit_flag $ no_tier_flag
+      $ tier_threshold_arg $ trust_nothing_flag
       $ clips_flag $ verbose_flag $ kill_at_arg $ trace_arg $ stats_flag
       $ fault_plan_arg $ seed_arg $ budget_args $ store_arg)
 
@@ -330,8 +362,8 @@ let batch_cmd =
     in
     Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
   in
-  let run trust_nothing clips kill_at fault_plan seed budget_specs
-      share_taint jobs trace_dir store_dir =
+  let run no_tier tier_threshold trust_nothing clips kill_at fault_plan
+      seed budget_specs share_taint jobs trace_dir store_dir =
     let budgets = budgets_of budget_specs in
     let fault = fault_of fault_plan seed in
     let trust =
@@ -350,8 +382,13 @@ let batch_cmd =
     let policy =
       if clips then Secpert.System.Clips else Secpert.System.Native
     in
+    let monitor_config =
+      { Harrier.Monitor.default_config with
+        tier = tier_enabled no_tier;
+        tier_threshold }
+    in
     let engine =
-      Hth.Engine.create ~trust ~policy ?auto_kill
+      Hth.Engine.create ~monitor_config ~trust ~policy ?auto_kill
         ~share_taint_space:share_taint ()
     in
     Option.iter
@@ -436,7 +473,8 @@ let batch_cmd =
   in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const run $ trust_nothing_flag $ clips_flag $ kill_at_arg
+      const run $ no_tier_flag $ tier_threshold_arg $ trust_nothing_flag
+      $ clips_flag $ kill_at_arg
       $ fault_plan_arg $ seed_arg $ budget_args $ share_taint_flag
       $ jobs_arg $ trace_dir_arg $ batch_store_arg)
 

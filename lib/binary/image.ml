@@ -10,10 +10,12 @@ type t = {
   relocs : Symbol.reloc list;
   needed : string list;
   entry : int;
+  blocks : int array;
 }
 
 let make ~path ~kind ~base ~text ~sections ~exports ~relocs ~needed ~entry =
-  { path; kind; base; text; sections; exports; relocs; needed; entry }
+  { path; kind; base; text; sections; exports; relocs; needed; entry;
+    blocks = Isa.Block.body_lens text }
 
 let text_end img = img.base + Array.length img.text
 

@@ -37,6 +37,20 @@ let setup ?(programs = []) ?(files = []) ?(hosts = []) ?(servers = [])
   { programs; files; hosts; servers; incoming; user_input; main; argv; env;
     max_ticks }
 
+(* Per-tier block execution counts for one run: how many basic-block
+   executions were interpreted, how many ran as compiled bodies, how
+   many of those applied a fused taint summary, and how many
+   deoptimized back to interpretation. *)
+type tier_counts = {
+  tc_interpreted : int;
+  tc_compiled : int;
+  tc_summarized : int;
+  tc_deopt : int;
+}
+
+let no_tier_counts =
+  { tc_interpreted = 0; tc_compiled = 0; tc_summarized = 0; tc_deopt = 0 }
+
 type result = {
   os_report : Osim.Kernel.report;
   events : Harrier.Events.t list;
@@ -47,6 +61,7 @@ type result = {
   degraded : string list;
   stats : Obs.snapshot;
   hot_blocks : (int * int * int) list;
+  tier : tier_counts;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -157,7 +172,10 @@ let create ?monitor_config ?trust ?thresholds ?auto_kill
    run through the parent. *)
 let fork eng =
   { eng with
-    e_images = [];
+    (* the linked-image cache is carried over: linked images are
+       immutable once built, so workers sharing them is safe — and it
+       means every worker maps the same text arrays, whose decoded
+       block tables and compiled-insn slots are shared fleet-wide *)
     e_space_pool = [];
     e_mem_pool = Vm.Machine.mem_pool ~cap:eng.e_mem_pool_cap ();
     e_mem_pool_cap = eng.e_mem_pool_cap;
@@ -358,24 +376,49 @@ let run_outcome_ambient eng ~budgets ~fault s =
             @ truncated
           in
           note_outcome (if degraded = [] then "ok" else "degraded");
-          let stats = Obs.diff ~before ~after:(Obs.snapshot ()) in
+          let stats_raw = Obs.diff ~before ~after:(Obs.snapshot ()) in
+          (* Strategy counters measure {e how} the run was executed —
+             taint-arena cache traffic, shadow fast-path hit rates,
+             tier promotion/deopt activity — not what the guest did.
+             They legitimately differ between the tiered and the
+             interpreted execution strategy (and, for [taint.*], with
+             arena warmth), so they are kept out of both [result.stats]
+             and the trace's embedded profile: those two surfaces are
+             byte-deterministic across strategies.  Guest-behaviour
+             counters ([vm.instructions], [vm.blocks],
+             [vm.fetch_cache.*], [osim.*], events, policy) stay, and
+             the tiered fast path replicates them exactly. *)
+          let strategy_counter n =
+            let has_prefix p =
+              String.length n >= String.length p
+              && String.sub n 0 (String.length p) = p
+            in
+            has_prefix "taint." || has_prefix "harrier.shadow."
+            || has_prefix "vm.blocks." || has_prefix "harrier.summary."
+          in
+          let stats =
+            List.filter (fun (n, _) -> not (strategy_counter n)) stats_raw
+          in
+          let tier =
+            let compiled, summarized, deopt =
+              Harrier.Monitor.tier_stats monitor
+            in
+            let blocks_total =
+              Option.value (List.assoc_opt "vm.blocks" stats_raw) ~default:0
+            in
+            { tc_interpreted = max 0 (blocks_total - compiled);
+              tc_compiled = compiled; tc_summarized = summarized;
+              tc_deopt = deopt }
+          in
           let hot_blocks = Harrier.Monitor.hot_blocks monitor ~limit:10 in
           (* Embed the per-run profile in the trace so offline analysis
              ([hth_trace profile]) reproduces the live [--stats] numbers
-             from the file alone.  With a per-session taint space the
-             [taint.*] counters are per-run state like everything else
-             and are embedded too; only a shared space makes them
-             warm-dependent, so only then are they left out. *)
+             from the file alone. *)
           if Obs.Trace.enabled () then begin
-            let skip_warm_taint n =
-              eng.e_shared_space <> None
-              && String.length n >= 6 && String.sub n 0 6 = "taint."
-            in
             List.iter
               (fun (n, v) ->
-                if not (skip_warm_taint n) then
-                  Obs.Trace.emit "counter"
-                    [ "name", Obs.Str n; "value", Obs.Int v ])
+                Obs.Trace.emit "counter"
+                  [ "name", Obs.Str n; "value", Obs.Int v ])
               stats;
             List.iter
               (fun (pid, addr, count) ->
@@ -393,7 +436,8 @@ let run_outcome_ambient eng ~budgets ~fault s =
               event_count = Harrier.Monitor.event_count monitor;
               degraded;
               stats;
-              hot_blocks }))
+              hot_blocks;
+              tier }))
 
 (* [?trace] scopes a sink to this one session: installed before the
    first "phase" line, flushed and removed on every exit path.  Without

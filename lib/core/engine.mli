@@ -53,6 +53,20 @@ val setup :
 (** The loopback address every world knows as ["LocalHost"]. *)
 val localhost_ip : int
 
+(** Per-tier basic-block execution counts for one run. *)
+type tier_counts = {
+  tc_interpreted : int;  (** block executions stepped per-instruction *)
+  tc_compiled : int;  (** block executions run as compiled bodies *)
+  tc_summarized : int;
+      (** compiled executions whose taint transfer was one fused
+          summary application *)
+  tc_deopt : int;
+      (** deoptimizations: promotion rejections (flow not exactly
+          summarizable) plus runtime bounds bail-outs *)
+}
+
+val no_tier_counts : tier_counts
+
 type result = {
   os_report : Osim.Kernel.report;
   events : Harrier.Events.t list;
@@ -70,13 +84,19 @@ type result = {
           human-readable reason per trip. *)
   stats : Obs.snapshot;
       (** observability counters incremented during this run
-          (instructions, shadow ops, syscalls by name, rule firings,
-          warnings by severity, taint-cache traffic, ...) *)
+          (instructions, syscalls by name, rule firings, warnings by
+          severity, ...).  Strategy counters — [taint.*],
+          [harrier.shadow.*], [vm.blocks.*], [harrier.summary.*] —
+          measure how the run was executed rather than what the guest
+          did, and are excluded so stats (and the embedded trace
+          profile) are byte-identical across execution strategies;
+          read them through {!Obs.diff} directly when profiling. *)
   hot_blocks : (int * int * int) list;
       (** top-10 hottest application basic blocks as
           [(pid, leader, count)], deterministic ordering — also
           embedded into the trace as ["hot_block"] lines so
           [hth_trace profile] reproduces the live numbers offline *)
+  tier : tier_counts;  (** per-tier block execution counts *)
 }
 
 (** Supervisor resource budgets for one session.  Every budget degrades
@@ -134,14 +154,16 @@ val create :
   t
 
 (** [fork engine] is a worker's view of the same engine: it shares the
-    compiled policy, trust database and configuration (all immutable
-    after {!create}) but owns fresh mutable pools — linked-image cache,
-    taint-space pool, guest memory pool, and its own shared taint space
-    when the parent enabled one.  A fork is safe to use from another
-    domain concurrently with the parent and with other forks, and runs
-    sessions byte-identically to the parent (each fork re-links images
-    on first sight of a program set, outside per-run counter
-    snapshots). *)
+    compiled policy, trust database, configuration and a snapshot of
+    the linked-image cache (linked images are immutable, so workers
+    mapping the same text arrays also share their decoded-block tables
+    and compiled-instruction slots) but owns fresh mutable pools —
+    taint-space pool, guest memory pool, and its own shared taint
+    space when the parent enabled one.  A fork is safe to use from
+    another domain concurrently with the parent and with other forks,
+    and runs sessions byte-identically to the parent (program sets the
+    snapshot misses are re-linked deterministically, outside per-run
+    counter snapshots). *)
 val fork : t -> t
 
 (** [run_outcome engine setup] executes one session against the

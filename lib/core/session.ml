@@ -20,6 +20,13 @@ let localhost_ip = Engine.localhost_ip
 
 let setup = Engine.setup
 
+type tier_counts = Engine.tier_counts = {
+  tc_interpreted : int;
+  tc_compiled : int;
+  tc_summarized : int;
+  tc_deopt : int;
+}
+
 type result = Engine.result = {
   os_report : Osim.Kernel.report;
   events : Harrier.Events.t list;
@@ -30,6 +37,7 @@ type result = Engine.result = {
   degraded : string list;
   stats : Obs.snapshot;
   hot_blocks : (int * int * int) list;
+  tier : tier_counts;
 }
 
 type budgets = Engine.budgets = {

@@ -46,6 +46,14 @@ val setup :
 (** The loopback address every world knows as ["LocalHost"]. *)
 val localhost_ip : int
 
+(** Per-tier basic-block execution counts (see {!Engine.tier_counts}). *)
+type tier_counts = Engine.tier_counts = {
+  tc_interpreted : int;
+  tc_compiled : int;
+  tc_summarized : int;
+  tc_deopt : int;
+}
+
 type result = Engine.result = {
   os_report : Osim.Kernel.report;
   events : Harrier.Events.t list;
@@ -60,13 +68,15 @@ type result = Engine.result = {
           human-readable reason per trip. *)
   stats : Obs.snapshot;
       (** observability counters incremented during this run
-          (instructions, shadow ops, syscalls by name, rule firings,
-          warnings by severity, ...) *)
+          (instructions, syscalls by name, rule firings, warnings by
+          severity, ...); strategy counters excluded — see
+          {!Engine.result} *)
   hot_blocks : (int * int * int) list;
       (** top-10 hottest application basic blocks as
           [(pid, leader, count)], deterministic ordering — also
           embedded into the trace as ["hot_block"] lines so
           [hth_trace profile] reproduces the live numbers offline *)
+  tier : tier_counts;  (** per-tier block execution counts *)
 }
 
 (** Supervisor resource budgets for one session.  Every budget degrades

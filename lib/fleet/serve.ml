@@ -15,7 +15,12 @@
    Fields: [scenario] (required), [policy] "native"|"clips" (default
    native), [seed] int or [fault_plan] string (mutually exclusive),
    [budget] "KEY=N,KEY=N", [id] echoed back verbatim, [op]
-   "run" (default) | "health" | "stats" | "store_stats".
+   "run" (default) | "health" | "stats" | "store_stats" |
+   "store_query".  A store_query request adds [kind]
+   "query" (default; filters [scenario]/[rule]/[severity]/[resource]/
+   [verdict]) | "profile" | "diff" (requires [run]) plus [limit], and
+   is answered in-line from the attached warehouse via
+   Store.Fleet_query — no fleet slot, no trace decompression.
 
    With a warehouse attached ([create ?store]) every run request also
    produces a sealed trace segment; the collector — the sole consumer
@@ -111,11 +116,20 @@ type request = {
   r_fault : string option;
 }
 
+(* Cross-run warehouse queries answered in-line (no fleet slot): the
+   three Fleet_query surfaces, plus a row cap so a huge store cannot
+   produce an unbounded response line. *)
+type squery_kind =
+  | Q_hits of Store.Fleet_query.filter
+  | Q_profile
+  | Q_diff of string  (* run id *)
+
 type parsed =
   | P_run of request * Executor.job
   | P_health of string option  (* id to echo *)
   | P_stats of string option
   | P_store_stats of string option
+  | P_store_query of string option * squery_kind * int  (* id, kind, limit *)
 
 let field_str fields k =
   match List.assoc_opt k fields with
@@ -143,6 +157,37 @@ let parse_request resolver ~default_ticks ~store line =
   | Some "health" -> Ok (P_health id)
   | Some "stats" -> Ok (P_stats id)
   | Some "store_stats" -> Ok (P_store_stats id)
+  | Some "store_query" ->
+    let* limit = field_int fields "limit" in
+    let limit = match limit with Some n when n > 0 -> n | _ -> 50 in
+    let* kind = field_str fields "kind" in
+    (match kind with
+     | None | Some "query" ->
+       let* scenario = field_str fields "scenario" in
+       let* rule = field_str fields "rule" in
+       let* severity = field_str fields "severity" in
+       let* resource = field_str fields "resource" in
+       let* verdict = field_str fields "verdict" in
+       Ok
+         (P_store_query
+            ( id,
+              Q_hits
+                { Store.Fleet_query.q_scenario = scenario;
+                  q_rule = rule;
+                  q_severity = severity;
+                  q_resource = resource;
+                  q_verdict = verdict },
+              limit ))
+     | Some "profile" -> Ok (P_store_query (id, Q_profile, limit))
+     | Some "diff" ->
+       let* run = field_str fields "run" in
+       (match run with
+        | Some r -> Ok (P_store_query (id, Q_diff r, limit))
+        | None -> Error "store_query kind \"diff\" requires field \"run\"")
+     | Some k ->
+       Error
+         (Printf.sprintf "unknown store_query kind %S (query|profile|diff)"
+            k))
   | None | Some "run" ->
     let* scenario = field_str fields "scenario" in
     let* scenario =
@@ -195,7 +240,8 @@ let parse_request resolver ~default_ticks ~store line =
            Executor.job ~engine ~budgets ~fault ~store target.t_setup ))
   | Some op ->
     Error
-      (Printf.sprintf "unsupported op %S (run|health|stats|store_stats)" op)
+      (Printf.sprintf
+         "unsupported op %S (run|health|stats|store_stats|store_query)" op)
 
 (* ------------------------------------------------------------------ *)
 (* per-connection state: ordered emission + bounded in-flight window   *)
@@ -401,6 +447,94 @@ let store_stats_line svc seq id =
               "raw_bytes", I raw;
               "framed_bytes", I framed ])
 
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* Answer a cross-run warehouse query from manifests and segment
+   indexes (Fleet_query never decompresses a trace, so this stays
+   cheap enough to run on the reader thread).  Rows mirror the
+   hth_trace fleet renderings, newline-joined into one field, capped
+   at [limit] rows; the total is always reported so a capped response
+   is recognizable. *)
+let store_query_line svc seq (id, kind, limit) =
+  let kind_label =
+    match kind with Q_hits _ -> "query" | Q_profile -> "profile"
+                  | Q_diff _ -> "diff"
+  in
+  let base rest =
+    ("seq", I seq)
+    :: opt_id id (("status", S "store_query") :: ("kind", S kind_label) :: rest)
+  in
+  let err e =
+    base [ "enabled", B true; "error", S (Hth.Error.to_string e) ]
+  in
+  match svc.sv_store with
+  | None -> render (base [ "enabled", B false ])
+  | Some wh ->
+    (* snapshot the manifest under the append lock so a response never
+       observes a half-appended entry *)
+    Mutex.lock svc.sv_obs_mu;
+    let view = Store.Warehouse.load (Store.Warehouse.dir wh) in
+    Mutex.unlock svc.sv_obs_mu;
+    let fields =
+      match view with
+      | Error e -> err e
+      | Ok view ->
+        (match kind with
+         | Q_hits f ->
+           (match Store.Fleet_query.query view f with
+            | Error e -> err e
+            | Ok hits ->
+              let rows =
+                List.map
+                  (fun (h : Store.Fleet_query.hit) ->
+                    Printf.sprintf "%s %s %s" h.h_entry.e_run
+                      h.h_entry.e_verdict
+                      (match h.h_steps with
+                       | [] -> "-"
+                       | steps ->
+                         "steps "
+                         ^ String.concat ","
+                             (List.map string_of_int steps)))
+                  (take limit hits)
+              in
+              base
+                [ "enabled", B true;
+                  "runs", I (List.length hits);
+                  "hits", S (String.concat "\n" rows) ])
+         | Q_profile ->
+           (match Store.Fleet_query.profile view with
+            | Error e -> err e
+            | Ok blocks ->
+              let rows =
+                List.map
+                  (fun (b : Store.Fleet_query.block) ->
+                    Printf.sprintf "pid %d 0x%06x hits %d runs %d" b.b_pid
+                      b.b_addr b.b_count b.b_runs)
+                  (take limit blocks)
+              in
+              base
+                [ "enabled", B true;
+                  "blocks", I (List.length blocks);
+                  "profile", S (String.concat "\n" rows) ])
+         | Q_diff run ->
+           (match Store.Fleet_query.diff view ~run with
+            | Error e -> err e
+            | Ok (drifts, compared) ->
+              let rows =
+                List.map
+                  (fun (d : Store.Fleet_query.drift) ->
+                    Printf.sprintf "%s %d median %d" d.d_name d.d_value
+                      d.d_median)
+                  (take limit drifts)
+              in
+              base
+                [ "enabled", B true;
+                  "drifts", I (List.length drifts);
+                  "compared", I compared;
+                  "diff", S (String.concat "\n" rows) ]))
+    in
+    render fields
+
 (* ------------------------------------------------------------------ *)
 (* collector: routes global-order outcomes to per-connection emitters  *)
 
@@ -526,6 +660,8 @@ let serve_connection svc ~input ~output () =
        | Ok (P_health id) -> conn_emit c k (health_line svc k id)
        | Ok (P_stats id) -> conn_emit c k (stats_line svc k id)
        | Ok (P_store_stats id) -> conn_emit c k (store_stats_line svc k id)
+       | Ok (P_store_query (id, kind, limit)) ->
+         conn_emit c k (store_query_line svc k (id, kind, limit))
        | Ok (P_run (req, job)) ->
          (* per-connection window: block the reader — deterministic
             backpressure, response content never depends on timing *)

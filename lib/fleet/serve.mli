@@ -9,9 +9,15 @@
     dialect): [{"scenario":NAME}] plus optional [id] (echoed), [policy]
     (["native"]|["clips"]), [seed] or [fault_plan] (deterministic fault
     injection, mutually exclusive), [budget] (["KEY=N,KEY=N"]), and
-    [op] (["run"] default; ["health"], ["stats"] and ["store_stats"]
-    answer from the supervisor, the serve telemetry and the attached
-    warehouse without occupying a fleet slot).  Each request yields
+    [op] (["run"] default; ["health"], ["stats"], ["store_stats"] and
+    ["store_query"] answer from the supervisor, the serve telemetry
+    and the attached warehouse without occupying a fleet slot).  An
+    [op:"store_query"] request carries [kind] (["query"] default, with
+    filter fields [scenario]/[rule]/[severity]/[resource]/[verdict];
+    ["profile"]; or ["diff"] with required [run]) plus an optional
+    row [limit] (default 50), and is answered from manifests and
+    segment indexes via {!Store.Fleet_query} — the fleet-forensics
+    surface of [hth_trace fleet], served remotely.  Each request yields
     exactly one response line, emitted
     {e in that connection's input order} even though sessions run on
     the fleet in whatever order stealing produces.  Malformed lines

@@ -1,26 +1,58 @@
+(* Counts are keyed by a single packed int ((pid lsl 32) lor leader) and
+   held as [int ref] cells so the hot path — the same block entered
+   back-to-back by the same process, i.e. every iteration of a tight
+   guest loop — is two integer compares and an [incr] through the
+   one-entry cache, with no tuple allocation and no rehash. *)
+
 type t = {
-  counts : (int * int, int) Hashtbl.t;  (* (pid, bb leader) -> count *)
+  counts : (int, int ref) Hashtbl.t;  (* (pid lsl 32) lor leader -> count *)
   last_app : (int, int) Hashtbl.t;  (* pid -> leader of last app BB *)
+  mutable hot_pid : int;  (* one-entry cache over [counts] *)
+  mutable hot_addr : int;
+  mutable hot_cell : int ref;
 }
 
-let create () = { counts = Hashtbl.create 256; last_app = Hashtbl.create 8 }
+let no_cell = ref 0
+
+let create () =
+  { counts = Hashtbl.create 256; last_app = Hashtbl.create 8;
+    hot_pid = -1; hot_addr = -1; hot_cell = no_cell }
+
+let[@inline] key ~pid addr = (pid lsl 32) lor (addr land 0xFFFFFFFF)
+let[@inline] key_pid k = k lsr 32
+let[@inline] key_addr k = k land 0xFFFFFFFF
+
+let invalidate t =
+  t.hot_pid <- -1;
+  t.hot_addr <- -1;
+  t.hot_cell <- no_cell
 
 let on_bb t ~pid ~is_app addr =
   if is_app then begin
-    Hashtbl.replace t.last_app pid addr;
-    let key = pid, addr in
-    let n = match Hashtbl.find_opt t.counts key with
-      | Some n -> n
-      | None -> 0
-    in
-    Hashtbl.replace t.counts key (n + 1)
+    if pid = t.hot_pid && addr = t.hot_addr then incr t.hot_cell
+    else begin
+      Hashtbl.replace t.last_app pid addr;
+      let k = key ~pid addr in
+      let cell =
+        match Hashtbl.find_opt t.counts k with
+        | Some c -> c
+        | None ->
+          let c = ref 0 in
+          Hashtbl.add t.counts k c;
+          c
+      in
+      incr cell;
+      t.hot_pid <- pid;
+      t.hot_addr <- addr;
+      t.hot_cell <- cell
+    end
   end
 
 let attributed_bb t ~pid = Hashtbl.find_opt t.last_app pid
 
 let count t ~pid addr =
-  match Hashtbl.find_opt t.counts (pid, addr) with
-  | Some n -> n
+  match Hashtbl.find_opt t.counts (key ~pid addr) with
+  | Some c -> !c
   | None -> 0
 
 let event_frequency t ~pid =
@@ -30,8 +62,9 @@ let event_frequency t ~pid =
 
 let hot t ~limit =
   let all =
-    Hashtbl.fold (fun (pid, addr) n acc -> (pid, addr, n) :: acc) t.counts
-      []
+    Hashtbl.fold
+      (fun k c acc -> (key_pid k, key_addr k, !c) :: acc)
+      t.counts []
   in
   let sorted =
     List.sort
@@ -50,13 +83,24 @@ let inherit_from t ~parent ~child =
   (match Hashtbl.find_opt t.last_app parent with
    | Some addr -> Hashtbl.replace t.last_app child addr
    | None -> ());
-  Hashtbl.iter
-    (fun (pid, addr) n ->
-      if pid = parent then Hashtbl.replace t.counts (child, addr) n)
-    (Hashtbl.copy t.counts)
+  let copied =
+    Hashtbl.fold
+      (fun k c acc ->
+        if key_pid k = parent then (key_addr k, !c) :: acc else acc)
+      t.counts []
+  in
+  List.iter
+    (fun (addr, n) -> Hashtbl.replace t.counts (key ~pid:child addr) (ref n))
+    copied;
+  (* a replace may have dropped the cell the cache aliases *)
+  invalidate t
 
 let reset t ~pid =
   Hashtbl.remove t.last_app pid;
-  Hashtbl.iter
-    (fun ((p, _) as key) _ -> if p = pid then Hashtbl.remove t.counts key)
-    (Hashtbl.copy t.counts)
+  let doomed =
+    Hashtbl.fold
+      (fun k _ acc -> if key_pid k = pid then k :: acc else acc)
+      t.counts []
+  in
+  List.iter (Hashtbl.remove t.counts) doomed;
+  invalidate t

@@ -8,12 +8,14 @@ type config = {
   shortcircuit : Shortcircuit.spec list;
   clone_window : int;
   shadow_page_budget : int option;
+  tier : bool;
+  tier_threshold : int;
 }
 
 let default_config =
   { track_dataflow = true; track_frequency = true;
     shortcircuit = [ Shortcircuit.gethostbyname ]; clone_window = 3000;
-    shadow_page_budget = None }
+    shadow_page_budget = None; tier = true; tier_threshold = 8 }
 
 (* Per-process monitor state, keyed by the machine (physical equality —
    a machine is the identity of a running program instance). *)
@@ -30,10 +32,22 @@ type seg_info = {
   si_app : bool;  (* executable (application) segment? *)
 }
 
+(* Tier state of one basic block (keyed by leader address).  A block
+   starts [Cold] and counts hits; crossing the promotion threshold it
+   becomes [Ready] — carrying a compiled taint summary when dataflow is
+   on — or [Rejected] when the affine analysis cannot capture its flow
+   exactly, in which case it stays interpreted forever (precision is
+   never traded for speed). *)
+type tier_entry =
+  | Cold of int ref
+  | Ready of Summary.t option  (* [None]: compiled body, dataflow off *)
+  | Rejected
+
 type pstate = {
   pid : int;
   shadow : Shadow.t;
   sc : Shortcircuit.t;
+  tiers : (int, tier_entry) Hashtbl.t;
   mutable pending_origin : Taint.Tagset.t option;
       (** origin of the resource name seen at the pre-syscall hook,
           attached to the fd at the post hook *)
@@ -63,6 +77,9 @@ type t = {
   mutable clone_times : int list;
   mutable sinks : (string * sink) list;  (* dispatch order = registration *)
   mutable count : int;
+  mutable ts_compiled : int;  (* block executions run as compiled bodies *)
+  mutable ts_summarized : int;  (* of those, with a taint summary applied *)
+  mutable ts_deopt : int;  (* promotion rejections + runtime bail-outs *)
 }
 
 let config t = t.cfg
@@ -295,6 +312,79 @@ let hook_insn t m addr insn =
     end
 
 (* ------------------------------------------------------------------ *)
+(* Tier policy                                                         *)
+
+let c_promoted = Obs.Counter.make "vm.blocks.promoted"
+let c_deopt = Obs.Counter.make "vm.blocks.deopt"
+let c_summary_applied = Obs.Counter.make "harrier.summary.applied"
+
+let apply_summary t s m sm =
+  match Summary.apply sm s.shadow m with
+  | Summary.Applied g ->
+    Obs.Counter.incr c_summary_applied;
+    t.ts_compiled <- t.ts_compiled + 1;
+    t.ts_summarized <- t.ts_summarized + 1;
+    (match g with Some tag -> s.guard <- tag | None -> ());
+    true
+  | Summary.Deopt ->
+    (* an address left the block's proven bounds this time around: the
+       interpreter runs the block so the fault (or wrapped access)
+       lands at exactly the right instruction; the block stays Ready *)
+    Obs.Counter.incr c_deopt;
+    t.ts_deopt <- t.ts_deopt + 1;
+    false
+
+let promote t s (seg : Vm.Machine.segment) addr len m =
+  Obs.Counter.incr c_promoted;
+  if not t.cfg.track_dataflow then begin
+    Hashtbl.replace s.tiers addr (Ready None);
+    t.ts_compiled <- t.ts_compiled + 1;
+    true
+  end
+  else
+    match Isa.Block.analyze seg.seg_insns ~pos:(addr - seg.seg_base) ~len with
+    | None ->
+      (* flow not exactly capturable: permanent deopt to interpretation *)
+      Obs.Counter.incr c_deopt;
+      t.ts_deopt <- t.ts_deopt + 1;
+      Hashtbl.replace s.tiers addr Rejected;
+      false
+    | Some flow ->
+      let sm =
+        Summary.make ~space:t.space ~imm_tag:(imm_tag t seg.seg_image) flow
+      in
+      Hashtbl.replace s.tiers addr (Ready (Some sm));
+      apply_summary t s m sm
+
+(* The [on_block] hook: the VM offers a straight-line body before
+   running it; answering [true] commits this execution to the compiled
+   tier, with this hook's summary application standing in for the
+   per-instruction dataflow hooks.  Bodies contain no control transfer,
+   so shortcircuit call/return tracking is unaffected. *)
+let hook_block t m seg addr len =
+  match state_of t m with
+  | None -> false
+  | Some s ->
+    (match Hashtbl.find_opt s.tiers addr with
+     | Some (Ready None) ->
+       t.ts_compiled <- t.ts_compiled + 1;
+       true
+     | Some (Ready (Some sm)) -> apply_summary t s m sm
+     | Some Rejected -> false
+     | Some (Cold n) ->
+       incr n;
+       if !n >= t.cfg.tier_threshold then promote t s seg addr len m
+       else false
+     | None ->
+       if t.cfg.tier_threshold <= 1 then promote t s seg addr len m
+       else begin
+         Hashtbl.replace s.tiers addr (Cold (ref 1));
+         false
+       end)
+
+let tier_stats t = (t.ts_compiled, t.ts_summarized, t.ts_deopt)
+
+(* ------------------------------------------------------------------ *)
 (* Kernel callbacks                                                    *)
 
 let on_process_start t (p : Osim.Process.t) =
@@ -304,7 +394,8 @@ let on_process_start t (p : Osim.Process.t) =
     { pid = p.pid;
       shadow =
         Shadow.create ?page_budget:t.cfg.shadow_page_budget ~space:t.space ();
-      sc = Shortcircuit.create t.cfg.shortcircuit; pending_origin = None;
+      sc = Shortcircuit.create t.cfg.shortcircuit;
+      tiers = Hashtbl.create 32; pending_origin = None;
       guard = Taint.Tagset.empty; seg_info = None }
   in
   t.pmap <- (p.machine, s) :: t.pmap;
@@ -342,7 +433,11 @@ let on_fork t ~(parent : Osim.Process.t) ~(child : Osim.Process.t) =
   | Some ps ->
     let cs =
       { pid = child.pid; shadow = Shadow.clone ps.shadow;
-        sc = Shortcircuit.clone ps.sc; pending_origin = ps.pending_origin;
+        sc = Shortcircuit.clone ps.sc;
+        (* fresh tier table: the child re-warms its own hit counts
+           (summaries are cheap to rebuild and hit counts are per
+           process by design) *)
+        tiers = Hashtbl.create 32; pending_origin = ps.pending_origin;
         guard = ps.guard; seg_info = ps.seg_info }
     in
     (* the child's eax holds fork's result, written by the kernel *)
@@ -523,12 +618,18 @@ let attach ?(config = default_config) ?space kernel =
       resources = Resources.create (); routines = Hashtbl.create 8;
       name_origins = Hashtbl.create 32;
       imm_tags = Hashtbl.create 8; pmap = []; cur = None; clone_times = [];
-      sinks = []; count = 0 }
+      sinks = []; count = 0; ts_compiled = 0; ts_summarized = 0;
+      ts_deopt = 0 }
   in
   let hooks = Osim.Kernel.hooks kernel in
   if config.track_dataflow || config.shortcircuit <> [] then
     hooks.pre_insn <- hook_insn t;
   if config.track_frequency then hooks.on_bb <- hook_bb t;
+  (* tiering is disabled outright under a shadow page budget: summary
+     application order would interact with the sticky overflow set, and
+     degraded runs are the slow path anyway *)
+  if config.tier && config.shadow_page_budget = None then
+    hooks.on_block <- hook_block t;
   let mon = Osim.Kernel.monitor kernel in
   mon.on_process_start <- on_process_start t;
   mon.on_image_load <- on_image_load t;

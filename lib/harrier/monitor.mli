@@ -19,10 +19,18 @@ type config = {
       (** bound on live shadow pages per process; when it trips, taint
           saturates to conservative over-tainting (see {!Shadow.create})
           and the run is flagged {!degraded}.  [None] = exact tracking *)
+  tier : bool;
+      (** tiered execution: hot straight-line blocks run as compiled
+          bodies with one fused taint-summary application instead of
+          per-instruction shadow ops.  Behaviour-preserving — blocks
+          whose flow the summary analysis cannot capture exactly stay
+          interpreted.  Forced off under a [shadow_page_budget]. *)
+  tier_threshold : int;
+      (** per-process hit count at which a block is promoted *)
 }
 
 (** Everything on: dataflow, frequency, gethostbyname short-circuit,
-    a 3000-tick clone window. *)
+    a 3000-tick clone window, tiering at threshold 8. *)
 val default_config : config
 
 type t
@@ -70,6 +78,12 @@ val event_count : t -> int
 (** [shadow_of_pid t pid] exposes a process's taint state (tests,
     diagnostics). *)
 val shadow_of_pid : t -> int -> Shadow.t option
+
+(** [tier_stats t] is [(compiled, summarized, deopt)]: block executions
+    that ran as compiled bodies, those of them whose taint transfer was
+    applied as one fused summary, and deoptimizations (promotion
+    rejections plus runtime bounds bail-outs back to interpretation). *)
+val tier_stats : t -> int * int * int
 
 (** [hot_blocks t ~limit] is the top-[limit] hottest application basic
     blocks as [(pid, leader, count)] (see {!Freq.hot}); deterministic

@@ -1,0 +1,31 @@
+(** Compiled per-block taint transfer summaries.
+
+    A summary is the executable form of an {!Isa.Block.flow}: one fused
+    application updates the shadow state for a whole straight-line block
+    — bounds-check every touched address, evaluate every entry-relative
+    taint expression, apply the writes in program order — exactly as
+    per-instruction {!Dataflow.step} calls would have.  Summaries are
+    built once per promoted block and applied on every subsequent hot
+    execution. *)
+
+type t
+
+type outcome =
+  | Applied of Taint.Tagset.t option
+      (** shadow updated; the payload is the new trigger-guard tag when
+          some compare/test in the block evaluated non-empty *)
+  | Deopt
+      (** an address failed its bounds precondition: the caller must
+          interpret this execution so the fault (or wrapped access)
+          surfaces at exactly the right instruction *)
+
+(** [make ~space ~imm_tag flow] compiles [flow].  [imm_tag] is the
+    BINARY provenance tag of the image the block lives in; [space] the
+    arena all tag unions run in. *)
+val make : space:Taint.Space.t -> imm_tag:Taint.Tagset.t -> Isa.Block.flow -> t
+
+(** [apply s shadow m] applies the summary against [shadow] using [m]'s
+    current (block-entry) register values for address evaluation.  Not
+    re-entrant: summaries carry scratch state and are applied from one
+    run at a time. *)
+val apply : t -> Shadow.t -> Vm.Machine.t -> outcome

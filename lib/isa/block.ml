@@ -1,0 +1,386 @@
+(* Decoded basic blocks: straight-line body lengths for the tiered VM
+   and the per-block information-flow transfer summaries (the Section
+   7.3.1 rules lifted from one instruction to one block).
+
+   Everything here is pure syntax analysis over the instruction array:
+   no machine, no shadow, no taint arena.  A [flow] describes the
+   block's taint transfer relative to its *entry* state — which entry
+   registers / entry memory ranges / constant provenance feed each
+   written location — so a monitor can replay the whole block's shadow
+   effect as one summary application.  Addresses are affine expressions
+   over entry register values; anything the analysis cannot prove
+   (non-affine address, a read that may alias an earlier in-block
+   write) makes the block unsummarizable and it stays interpreted. *)
+
+(* Bodies are capped so one fast-path dispatch cannot swallow an
+   arbitrary slice of a scheduling quantum; runs longer than the cap
+   split into cap-sized windows. *)
+let max_body = 48
+
+let dst_ok (op : Operand.t) =
+  match op with Imm _ -> false | Reg _ | Mem _ -> true
+
+(* Body-safe: executes in a straight line (no control transfer, no
+   trap to the kernel), cannot raise the interpreter's special-cased
+   [Div_by_zero], and has a well-formed destination (a write to an
+   immediate raises a plain [Failure], which the step loop does not
+   catch — such an instruction must never enter a compiled body). *)
+let body_safe (i : Insn.t) =
+  match i with
+  | Mov (_, dst, _) -> dst_ok dst
+  | Add (d, _) | Sub (d, _) | And (d, _) | Or (d, _) | Xor (d, _)
+  | Mul (d, _) | Shl (d, _) | Shr (d, _) -> dst_ok d
+  | Inc d | Dec d | Pop d -> dst_ok d
+  | Lea _ | Cmp _ | Test _ | Push _ | Cpuid | Nop -> true
+  | Div _ -> false
+  | Jmp _ | Jcc _ | Call _ | Ret | Int _ | Hlt -> false
+
+(* [body_lens text].(i) is the number of consecutive body-safe
+   instructions starting at [i] (0 when [text.(i)] itself terminates a
+   block), capped at {!max_body}.  One reverse pass; the table is
+   invariant under linking because relocation patching preserves every
+   instruction's constructor shape. *)
+let body_lens text =
+  let n = Array.length text in
+  let lens = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    if body_safe text.(i) then
+      lens.(i) <-
+        (if i = n - 1 then 1 else min max_body (1 + lens.(i + 1)))
+  done;
+  lens
+
+(* ------------------------------------------------------------------ *)
+(* Affine address expressions over entry register values               *)
+
+(* disp + sum coef*entry_reg, coefficient list sorted by register index
+   with zero coefficients dropped, so structural equality is canonical
+   equality. *)
+type avalue = {
+  av_coefs : (Reg.t * int) list;
+  av_disp : int;
+}
+
+let const n = { av_coefs = []; av_disp = n }
+
+let of_reg r = { av_coefs = [ (r, 1) ]; av_disp = 0 }
+
+let av_add2 k a b =
+  (* a + k*b, merging sorted coefficient lists *)
+  let rec merge xs ys =
+    match xs, ys with
+    | [], ys -> List.filter_map (fun (r, c) -> scaled r c) ys
+    | xs, [] -> xs
+    | (rx, cx) :: xs', (ry, cy) :: ys' ->
+      let ix = Reg.index rx and iy = Reg.index ry in
+      if ix < iy then (rx, cx) :: merge xs' ys
+      else if iy < ix then (
+        match scaled ry cy with
+        | Some p -> p :: merge xs ys'
+        | None -> merge xs ys')
+      else
+        let c = cx + (k * cy) in
+        if c = 0 then merge xs' ys' else (rx, c) :: merge xs' ys'
+  and scaled r c = if k * c = 0 then None else Some (r, k * c) in
+  { av_coefs = merge a.av_coefs b.av_coefs;
+    av_disp = a.av_disp + (k * b.av_disp) }
+
+let av_add a b = av_add2 1 a b
+let av_sub a b = av_add2 (-1) a b
+let av_offset a n = { a with av_disp = a.av_disp + n }
+
+let same_coefs a b =
+  let rec eq xs ys =
+    match xs, ys with
+    | [], [] -> true
+    | (rx, cx) :: xs', (ry, cy) :: ys' ->
+      Reg.index rx = Reg.index ry && cx = cy && eq xs' ys'
+    | _, _ -> false
+  in
+  eq a.av_coefs b.av_coefs
+
+(* ------------------------------------------------------------------ *)
+(* Entry-relative taint expressions                                    *)
+
+(* The tag a location will hold, expressed over block-entry state: the
+   union of the listed entry registers' tags, the listed entry memory
+   ranges' tags, the segment's BINARY tag when [x_imm], and the
+   HARDWARE singleton when [x_hw]. *)
+type texpr = {
+  x_regs : Reg.t list;  (* sorted by index, deduped *)
+  x_mems : (avalue * int) list;
+  x_imm : bool;
+  x_hw : bool;
+}
+
+let bottom = { x_regs = []; x_mems = []; x_imm = false; x_hw = false }
+let imm_texpr = { bottom with x_imm = true }
+let hw_texpr = { bottom with x_hw = true }
+let reg_texpr r = { bottom with x_regs = [ r ] }
+let mem_texpr av len = { bottom with x_mems = [ (av, len) ] }
+
+let is_bottom t =
+  t.x_regs = [] && t.x_mems = [] && (not t.x_imm) && not t.x_hw
+
+let t_union a b =
+  let rec merge xs ys =
+    match xs, ys with
+    | [], ys -> ys
+    | xs, [] -> xs
+    | x :: xs', y :: ys' ->
+      let ix = Reg.index x and iy = Reg.index y in
+      if ix < iy then x :: merge xs' ys
+      else if iy < ix then y :: merge xs ys'
+      else x :: merge xs' ys'
+  in
+  let mems =
+    a.x_mems
+    @ List.filter
+        (fun (av, len) ->
+          not
+            (List.exists
+               (fun (av', len') -> len = len' && av' = av)
+               a.x_mems))
+        b.x_mems
+  in
+  { x_regs = merge a.x_regs b.x_regs;
+    x_mems = mems;
+    x_imm = a.x_imm || b.x_imm;
+    x_hw = a.x_hw || b.x_hw }
+
+(* ------------------------------------------------------------------ *)
+(* The block transfer summary                                          *)
+
+type write =
+  | W_reg of Reg.t * texpr
+  | W_mem of avalue * int * texpr
+
+type flow = {
+  f_addrs : (avalue * int) list;
+      (* every memory range the body touches (machine accesses and
+         shadow ranges coincide for summarizable bodies): the bounds
+         precondition a runtime application must check before applying *)
+  f_writes : write list;  (* program order — later writes win *)
+  f_guards : texpr list;
+      (* Cmp/Test operand flow, program order; at application the last
+         one evaluating non-empty becomes the new guard tag *)
+}
+
+(* Analysis state: per-register affine value (for address computation)
+   and per-register entry-relative taint expression, plus the list of
+   in-block memory writes for read-after-write resolution. *)
+type state = {
+  vals : avalue option array;  (* indexed by Reg.index *)
+  tex : texpr array;
+  mutable writes : (avalue * int * texpr) list;  (* latest first *)
+  mutable wlist : write list;  (* program order, reversed *)
+  mutable guards : texpr list;  (* reversed *)
+  mutable addrs : (avalue * int) list;
+}
+
+exception Unsummarizable
+
+let size_bytes = function Insn.B -> 1 | Insn.W -> 4
+
+let init_state () =
+  { vals = Array.init Reg.count (fun i -> Some (of_reg (Reg.of_index i)));
+    tex = Array.init Reg.count (fun i -> reg_texpr (Reg.of_index i));
+    writes = [];
+    wlist = [];
+    guards = [];
+    addrs = [] }
+
+let reg_val st r =
+  match st.vals.(Reg.index r) with
+  | Some v -> v
+  | None -> raise Unsummarizable
+
+let set_val st r v = st.vals.(Reg.index r) <- v
+
+(* Effective address of a memory reference, as an affine expression
+   over entry registers (pre-instruction register state). *)
+let aval_of_ref st (m : Operand.mem_ref) =
+  let base =
+    match m.base with Some r -> reg_val st r | None -> const 0
+  in
+  let a =
+    match m.index with
+    | Some r -> av_add base (av_add2 m.scale (const 0) (reg_val st r))
+    | None -> base
+  in
+  av_offset a m.disp
+
+let note_addr st av len = st.addrs <- (av, len) :: st.addrs
+
+(* Resolve a memory read against the in-block writes, latest first:
+   exact match takes the written expression; provable disjointness
+   skips; anything else (partial overlap, unprovably distinct bases)
+   makes the block unsummarizable.  Falls through to the entry range. *)
+let mem_read st av len =
+  note_addr st av len;
+  let rec resolve = function
+    | [] -> mem_texpr av len
+    | (wav, wlen, wtex) :: rest ->
+      if same_coefs av wav then
+        if av.av_disp = wav.av_disp && len = wlen then wtex
+        else if
+          av.av_disp + len <= wav.av_disp
+          || wav.av_disp + wlen <= av.av_disp
+        then resolve rest
+        else raise Unsummarizable
+      else raise Unsummarizable
+  in
+  resolve st.writes
+
+let mem_write st av len tex =
+  note_addr st av len;
+  st.writes <- (av, len, tex) :: st.writes;
+  st.wlist <- W_mem (av, len, tex) :: st.wlist
+
+let reg_write st r tex =
+  st.tex.(Reg.index r) <- tex;
+  st.wlist <- W_reg (r, tex) :: st.wlist
+
+(* Operand taint at the current program point — the [Dataflow]
+   operand_tag rule with immediates mapping to the segment tag. *)
+let op_texpr st sz (op : Operand.t) =
+  match op with
+  | Imm _ -> imm_texpr
+  | Reg r -> st.tex.(Reg.index r)
+  | Mem m -> mem_read st (aval_of_ref st m) (size_bytes sz)
+
+(* Same, but immediates contribute nothing: the guard rule deliberately
+   ignores direct immediates (only {e data} taint reaching a compare
+   marks trigger-gated flow); taint that an earlier in-block move
+   planted in a register still flows through [st.tex]. *)
+let guard_texpr st sz (op : Operand.t) =
+  match op with
+  | Imm _ -> bottom
+  | Reg r -> st.tex.(Reg.index r)
+  | Mem m -> mem_read st (aval_of_ref st m) (size_bytes sz)
+
+let write_op st sz (op : Operand.t) tex =
+  match op with
+  | Imm _ -> raise Unsummarizable
+  | Reg r -> reg_write st r tex
+  | Mem m -> mem_write st (aval_of_ref st m) (size_bytes sz) tex
+
+(* Affine tracking of register {e values} across the instruction, after
+   its taint transfer was recorded (all address evaluation above used
+   the pre-instruction state, matching the pre-execution hook). *)
+let val_of_operand st (op : Operand.t) =
+  match op with
+  | Imm n -> Some (const n)
+  | Reg r -> st.vals.(Reg.index r)
+  | Mem _ -> None
+
+let esp = Reg.ESP
+
+(* cpuid writes fixed identity words (see Vm.Machine.cpuid_values);
+   mirrored here so address arithmetic through them stays affine. *)
+let cpuid_consts =
+  [ (Reg.EAX, 0x756E_6547); (Reg.EBX, 0x4963_6E74); (Reg.ECX, 0x6C65_746E);
+    (Reg.EDX, 0x0000_0F4A) ]
+
+let transfer st (insn : Insn.t) =
+  match insn with
+  | Mov (sz, dst, src) ->
+    let t = op_texpr st sz src in
+    write_op st sz dst t;
+    (match dst, sz with
+     | Operand.Reg r, Insn.W -> set_val st r (val_of_operand st src)
+     | Operand.Reg r, Insn.B -> set_val st r None  (* zero-extended *)
+     | (Operand.Mem _ | Operand.Imm _), _ -> ())
+  | Lea (r, m) ->
+    let reg_tex = function
+      | None -> bottom
+      | Some reg -> st.tex.(Reg.index reg)
+    in
+    let av = aval_of_ref st m in
+    reg_write st r
+      (t_union imm_texpr (t_union (reg_tex m.base) (reg_tex m.index)));
+    set_val st r (Some av)
+  | Add (d, s) | Sub (d, s) | And (d, s) | Or (d, s) | Xor (d, s)
+  | Mul (d, s) | Shl (d, s) | Shr (d, s) ->
+    let t =
+      t_union (op_texpr st Insn.W d) (op_texpr st Insn.W s)
+    in
+    write_op st Insn.W d t;
+    (match d with
+     | Operand.Reg r ->
+       let v =
+         match insn, st.vals.(Reg.index r), val_of_operand st s with
+         | Add _, Some a, Some b -> Some (av_add a b)
+         | Sub _, Some a, Some b -> Some (av_sub a b)
+         | _ -> None
+       in
+       set_val st r v
+     | Operand.Mem _ | Operand.Imm _ -> ())
+  | Inc d | Dec d ->
+    write_op st Insn.W d (t_union (op_texpr st Insn.W d) imm_texpr);
+    (match d with
+     | Operand.Reg r ->
+       let delta = match insn with Inc _ -> 1 | _ -> -1 in
+       set_val st r
+         (Option.map (fun v -> av_offset v delta) st.vals.(Reg.index r))
+     | Operand.Mem _ | Operand.Imm _ -> ())
+  | Cmp (sz, a, b) ->
+    let g = t_union (guard_texpr st sz a) (guard_texpr st sz b) in
+    if not (is_bottom g) then st.guards <- g :: st.guards
+  | Test (a, b) ->
+    let g =
+      t_union (guard_texpr st Insn.W a) (guard_texpr st Insn.W b)
+    in
+    if not (is_bottom g) then st.guards <- g :: st.guards
+  | Push a ->
+    let t = op_texpr st Insn.W a in
+    let sp = reg_val st esp in
+    mem_write st (av_offset sp (-4)) 4 t;
+    set_val st esp (Some (av_offset sp (-4)))
+  | Pop dst ->
+    (* the machine bumps ESP before evaluating a memory destination, so
+       an ESP-relative destination would disagree with the shadow rule's
+       pre-instruction address — leave such blocks to the interpreter *)
+    (match dst with
+     | Operand.Mem m
+       when m.base = Some Reg.ESP || m.index = Some Reg.ESP ->
+       raise Unsummarizable
+     | _ -> ());
+    let sp = reg_val st esp in
+    let t = mem_read st sp 4 in
+    write_op st Insn.W dst t;
+    (match dst with
+     | Operand.Reg r when r <> esp -> set_val st r None
+     | _ -> ());
+    set_val st esp (Some (av_offset sp 4));
+    (match dst with
+     | Operand.Reg r when r = esp -> set_val st r None
+     | _ -> ())
+  | Cpuid ->
+    List.iter
+      (fun (r, v) ->
+        reg_write st r hw_texpr;
+        set_val st r (Some (const v)))
+      cpuid_consts
+  | Nop -> ()
+  | Div _ | Jmp _ | Jcc _ | Call _ | Ret | Int _ | Hlt ->
+    (* never body-safe *)
+    raise Unsummarizable
+
+(* [analyze text ~pos ~len] summarizes the straight-line body
+   [text.(pos) .. text.(pos+len-1)] — which must be body-safe, i.e.
+   [len <= (body_lens text).(pos)] — or returns [None] when its
+   information flow cannot be captured exactly. *)
+let analyze text ~pos ~len =
+  let st = init_state () in
+  match
+    for i = pos to pos + len - 1 do
+      transfer st text.(i)
+    done
+  with
+  | exception Unsummarizable -> None
+  | () ->
+    Some
+      { f_addrs = List.rev st.addrs;
+        f_writes = List.rev st.wlist;
+        f_guards = List.rev st.guards }

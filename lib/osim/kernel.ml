@@ -617,9 +617,18 @@ let run_quantum k (p : Process.t) =
     match p.state with Process.Runnable -> true | _ -> false
   in
   while !steps < k.quantum && runnable () do
-    incr steps;
-    k.k_ticks <- k.k_ticks + 1;
-    match Vm.Machine.step p.machine with
+    (* tiered dispatch: a hot straight-line block retires as one unit
+       (never overrunning the quantum — blocks longer than the
+       remaining fuel are interpreted); everything else is exactly one
+       interpreted step.  Ticks advance by the retired count before the
+       outcome is handled, so a syscall observes the same clock as
+       under per-instruction stepping. *)
+    let out, n =
+      Vm.Machine.step_block p.machine ~fuel:(k.quantum - !steps)
+    in
+    steps := !steps + n;
+    k.k_ticks <- k.k_ticks + n;
+    match out with
     | Continue -> ()
     | Syscall 0x80 -> handle_syscall k p ~retry:false
     | Syscall _ -> Vm.Machine.set_reg p.machine EAX (-38)

@@ -5,19 +5,6 @@ type fault =
 
 type status = Running | Halted | Faulted of fault
 
-type segment = {
-  seg_base : int;
-  seg_insns : Isa.Insn.t array;
-  seg_image : string;
-  seg_kind : Binary.Image.kind;
-}
-
-(* Sentinel "no segment": an empty interval, so the fetch fast path
-   below never matches it. *)
-let no_seg =
-  { seg_base = 0; seg_insns = [||]; seg_image = "";
-    seg_kind = Binary.Image.Executable }
-
 type t = {
   regs : int array;
   mutable eip : int;
@@ -34,13 +21,34 @@ type t = {
   h : hooks;
 }
 
+and segment = {
+  seg_base : int;
+  seg_insns : Isa.Insn.t array;
+  seg_image : string;
+  seg_kind : Binary.Image.kind;
+  seg_lens : int array;
+  seg_ops : (t -> unit) option array;
+      (* compiled-insn slots, lazily filled by [step_block]; shared with
+         every machine mapping the same image (see [ops_for]), so fleet
+         workers decode each block once *)
+}
+
 and hooks = {
   mutable pre_insn : t -> int -> Isa.Insn.t -> unit;
   mutable on_bb : t -> int -> unit;
+  mutable on_block : t -> segment -> int -> int -> bool;
 }
 
+(* Sentinel "no segment": an empty interval, so the fetch fast path
+   below never matches it. *)
+let no_seg =
+  { seg_base = 0; seg_insns = [||]; seg_image = "";
+    seg_kind = Binary.Image.Executable; seg_lens = [||]; seg_ops = [||] }
+
 let no_hooks () =
-  { pre_insn = (fun _ _ _ -> ()); on_bb = (fun _ _ -> ()) }
+  { pre_insn = (fun _ _ _ -> ());
+    on_bb = (fun _ _ -> ());
+    on_block = (fun _ _ _ _ -> false) }
 
 let mem_size = 0x100000
 
@@ -153,10 +161,40 @@ let read_cstring m addr =
   let stop = find addr in
   Bytes.sub_string m.mem addr (stop - addr)
 
+(* Per-image compiled-op tables, keyed by physical equality on the text
+   array.  Linked images are interned per engine and shared by every
+   forked fleet worker, so all machines mapping one image write into
+   (and benefit from) the same slot array.  Slot stores race benignly
+   across domains: a stale [None] read just recompiles the identical
+   closure.  The registry is bounded; evicting an entry only forfeits
+   sharing for images still mapped somewhere. *)
+let ops_registry : (Isa.Insn.t array * (t -> unit) option array) list ref =
+  ref []
+
+let ops_mu = Mutex.create ()
+let ops_registry_cap = 512
+
+let ops_for text =
+  Mutex.lock ops_mu;
+  let ops =
+    match List.find_opt (fun (t', _) -> t' == text) !ops_registry with
+    | Some (_, ops) -> ops
+    | None ->
+      let ops = Array.make (Array.length text) None in
+      let reg = (text, ops) :: !ops_registry in
+      ops_registry :=
+        (if List.length reg > ops_registry_cap then
+           List.filteri (fun i _ -> i < ops_registry_cap / 2) reg
+         else reg);
+      ops
+  in
+  Mutex.unlock ops_mu;
+  ops
+
 let map_image m (img : Binary.Image.t) =
   m.segs <-
     { seg_base = img.base; seg_insns = img.text; seg_image = img.path;
-      seg_kind = img.kind }
+      seg_kind = img.kind; seg_lens = img.blocks; seg_ops = ops_for img.text }
     :: m.segs;
   (* the new segment may shadow the cached one *)
   m.cur_seg <- no_seg;
@@ -178,6 +216,13 @@ let c_instructions = Obs.Counter.make "vm.instructions"
 let c_blocks = Obs.Counter.make "vm.blocks"
 let c_fetch_hits = Obs.Counter.make "vm.fetch_cache.hits"
 let c_fetch_misses = Obs.Counter.make "vm.fetch_cache.misses"
+
+(* Tiering counters.  [decoded] counts compiled-insn slots filled here;
+   [promoted]/[deopt] are incremented by the tier policy in the monitor
+   (Obs counters are interned by name, so both layers share the cell). *)
+let c_decoded = Obs.Counter.make "vm.blocks.decoded"
+let _c_promoted = Obs.Counter.make "vm.blocks.promoted"
+let _c_deopt = Obs.Counter.make "vm.blocks.deopt"
 
 (* Allocation-free fetch: hit the cached segment or rescan; [no_seg]
    means no segment maps [addr]. *)
@@ -372,29 +417,151 @@ let exec m insn =
     m.status <- Halted;
     Stopped Halted
 
+(* One interpreted instruction from an already-resolved segment; the
+   single [seg_for] call stays with the caller so the fetch-cache
+   counters count each fetch exactly once on every path. *)
+let step_in m seg =
+  if seg == no_seg then begin
+    m.status <- Faulted (Bad_fetch m.eip);
+    Stopped m.status
+  end
+  else begin
+    let insn = seg.seg_insns.(m.eip - seg.seg_base) in
+    try
+      Obs.Counter.incr c_instructions;
+      if m.at_bb_start then begin
+        Obs.Counter.incr c_blocks;
+        m.h.on_bb m m.eip
+      end;
+      m.h.pre_insn m m.eip insn;
+      m.at_bb_start <- Isa.Insn.writes_control_flow insn;
+      exec m insn
+    with Fault_exn f ->
+      m.status <- Faulted f;
+      Stopped m.status
+  end
+
 let step m =
   match m.status with
   | (Halted | Faulted _) as s -> Stopped s
+  | Running -> step_in m (seg_for m m.eip)
+
+(* Compile one body-safe instruction to a closure replicating [exec]'s
+   semantics exactly (flags, masking, faults, eip advance).  Only
+   called from [step_block] on instructions [Isa.Block.body_safe]
+   admits; terminators and [Div] always stay with the interpreter. *)
+let compile_insn insn =
+  let open Isa.Insn in
+  match insn with
+  | Mov (sz, dst, src) ->
+    fun m ->
+      write_operand m sz dst (read_operand m sz src);
+      m.eip <- m.eip + 1
+  | Lea (r, ref) ->
+    fun m ->
+      set_reg m r (eff_addr m ref);
+      m.eip <- m.eip + 1
+  | Add (d, s) -> fun m -> alu m ( + ) d s
+  | Sub (d, s) -> fun m -> alu m ( - ) d s
+  | And (d, s) -> fun m -> alu m ( land ) d s
+  | Or (d, s) -> fun m -> alu m ( lor ) d s
+  | Xor (d, s) -> fun m -> alu m ( lxor ) d s
+  | Mul (d, s) -> fun m -> alu m ( * ) d s
+  | Shl (d, s) -> fun m -> alu m shl d s
+  | Shr (d, s) -> fun m -> alu m shr d s
+  | Inc d -> fun m -> alu m incr1 d (Imm 0)
+  | Dec d -> fun m -> alu m decr1 d (Imm 0)
+  | Cmp (sz, a, b) ->
+    fun m ->
+      let x = read_operand m sz a and y = read_operand m sz b in
+      let sx, sy =
+        match sz with
+        | B -> x, y
+        | W -> sign32 x, sign32 y
+      in
+      m.zf <- sx = sy;
+      m.lt <- sx < sy;
+      m.sf <- m.lt;
+      m.eip <- m.eip + 1
+  | Test (a, b) ->
+    fun m ->
+      set_flags m (read_operand m W a land read_operand m W b);
+      m.eip <- m.eip + 1
+  | Push a ->
+    fun m ->
+      push m (read_operand m W a);
+      m.eip <- m.eip + 1
+  | Pop dst ->
+    fun m ->
+      let v = pop m in
+      write_operand m W dst v;
+      m.eip <- m.eip + 1
+  | Cpuid ->
+    fun m ->
+      let a, b, c, d = cpuid_values in
+      set_reg m EAX a;
+      set_reg m EBX b;
+      set_reg m ECX c;
+      set_reg m EDX d;
+      m.eip <- m.eip + 1
+  | Nop -> fun m -> m.eip <- m.eip + 1
+  | Div _ | Jmp _ | Jcc _ | Call _ | Ret | Int _ | Hlt ->
+    invalid_arg "Machine.compile_insn: not body-safe"
+
+(* Tiered dispatch: at a basic-block start whose straight-line body fits
+   the remaining [fuel], offer the block to the [on_block] hook.  If it
+   accepts (the tier policy has promoted the block and applied — or
+   deliberately skipped — its taint summary), the body runs as compiled
+   closures with no per-instruction hook calls; the terminator and every
+   other case take the interpreted [step] path unchanged.  Returns the
+   outcome plus the number of instructions retired (for quantum
+   accounting). *)
+let step_block m ~fuel =
+  match m.status with
+  | (Halted | Faulted _) as s -> (Stopped s, 0)
   | Running ->
     let seg = seg_for m m.eip in
-    if seg == no_seg then begin
-      m.status <- Faulted (Bad_fetch m.eip);
-      Stopped m.status
-    end
+    if not m.at_bb_start || seg == no_seg then (step_in m seg, 1)
     else begin
-      let insn = seg.seg_insns.(m.eip - seg.seg_base) in
-      try
-        Obs.Counter.incr c_instructions;
-        if m.at_bb_start then begin
-          Obs.Counter.incr c_blocks;
-          m.h.on_bb m m.eip
-        end;
-        m.h.pre_insn m m.eip insn;
-        m.at_bb_start <- Isa.Insn.writes_control_flow insn;
-        exec m insn
-      with Fault_exn f ->
-        m.status <- Faulted f;
-        Stopped m.status
+      let off = m.eip - seg.seg_base in
+      let len = seg.seg_lens.(off) in
+      if len = 0 || len > fuel || not (m.h.on_block m seg m.eip len) then
+        (step_in m seg, 1)
+      else begin
+        Obs.Counter.incr c_blocks;
+        m.h.on_bb m m.eip;
+        m.at_bb_start <- false;
+        let ops = seg.seg_ops in
+        (* per-insn accounting is hoisted to one [add] per kind (the
+           first fetch was counted by [seg_for]; the rest of the body
+           would all hit the one-entry cache); a mid-block fault rolls
+           the difference back so the counts match interpretation
+           exactly *)
+        Obs.Counter.add c_instructions len;
+        Obs.Counter.add c_fetch_hits (len - 1);
+        let rec run i =
+          if i >= len then (Continue, len)
+          else begin
+            let op =
+              match ops.(off + i) with
+              | Some f -> f
+              | None ->
+                Obs.Counter.incr c_decoded;
+                let f = compile_insn seg.seg_insns.(off + i) in
+                ops.(off + i) <- Some f;
+                f
+            in
+            match op m with
+            | () -> run (i + 1)
+            | exception Fault_exn f ->
+              m.status <- Faulted f;
+              Obs.Counter.add c_instructions (i + 1 - len);
+              Obs.Counter.add c_fetch_hits (i - (len - 1));
+              (Stopped m.status, i + 1)
+          end
+        in
+        run 0
+      end
     end
 
 let pp_fault ppf = function

@@ -27,22 +27,35 @@ type status = Running | Halted | Faulted of fault
     it. *)
 exception Fault_exn of fault
 
+type t
+
 (** A mapped text segment: the executable or one shared object. *)
 type segment = {
   seg_base : int;
   seg_insns : Isa.Insn.t array;
   seg_image : string;  (** image path, e.g. ["/lib/libc.so"] *)
   seg_kind : Binary.Image.kind;
+  seg_lens : int array;
+      (** straight-line body lengths, from {!Binary.Image.t.blocks} *)
+  seg_ops : (t -> unit) option array;
+      (** compiled-instruction slots, lazily filled by {!step_block};
+          shared by every machine mapping the same image *)
 }
 
-type t
-
-(** Instrumentation callbacks.  All default to no-ops. *)
+(** Instrumentation callbacks.  All default to no-ops ([on_block]
+    defaults to refusing every block, i.e. pure interpretation). *)
 type hooks = {
   mutable pre_insn : t -> int -> Isa.Insn.t -> unit;
       (** called with the address and instruction {e before} execution *)
   mutable on_bb : t -> int -> unit;
       (** called when control enters a basic block (leader address) *)
+  mutable on_block : t -> segment -> int -> int -> bool;
+      (** [on_block m seg addr len]: offered a straight-line body of
+          [len] instructions at block leader [addr] before it runs.
+          Return [true] to execute it as compiled closures with no
+          per-instruction [pre_insn] calls — the hook owns whatever
+          per-block bookkeeping (taint summary application) replaces
+          them — or [false] to interpret as usual. *)
 }
 
 val no_hooks : unit -> hooks
@@ -139,6 +152,16 @@ type outcome =
 
 (** [step m] executes one instruction, firing hooks. *)
 val step : t -> outcome
+
+(** [step_block m ~fuel] is the tiered dispatcher: at a basic-block
+    start whose straight-line body has at most [fuel] instructions, the
+    body is offered to the [on_block] hook and — if accepted — runs as
+    compiled closures (one fused unit, no per-instruction hooks); in
+    every other case exactly one instruction is interpreted via
+    {!step}.  Returns the outcome and the number of instructions
+    retired, for quantum accounting.  Equivalent to [fuel] iterated
+    {!step}s up to the accepted per-block instrumentation. *)
+val step_block : t -> fuel:int -> outcome * int
 
 val pp_fault : Format.formatter -> fault -> unit
 

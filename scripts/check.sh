@@ -135,6 +135,46 @@ for s in "sleeper daemon idle" "sleeper daemon triggered" \
   esac
 done
 
+echo "== tiering gate =="
+# Tiered execution must be observationally invisible (DESIGN.md §19).
+# The dormancy gate above already ran the 12-scenario golden corpus
+# with tiering on (the default); running it again with tiering off
+# must reproduce the committed goldens byte for byte, so tier on vs
+# off differ in nothing but speed.  Then an aggressive tier
+# (threshold 1, every block compiled on first entry) fleet sweep on
+# two workers must be byte-identical to a --no-tier sweep — tiering
+# and work-stealing parity hold together, not just separately.
+for s in "sleeper daemon idle" "sleeper daemon triggered" \
+         "sleeper daemon disarmed" "logic bomb idle" \
+         "logic bomb triggered" "logic bomb defused" \
+         "worm pair idle" "worm pair triggered" "worm pair recalled" \
+         "update client idle" "update client triggered" \
+         "update client rejected"; do
+  f=$(echo "$s" | tr ' ' '_')
+  dune exec bin/hth_run.exe -- run "$s" --no-tier \
+    --trace "$tmp/$f.notier.jsonl" >/dev/null
+  if cmp -s "test/golden/$f.jsonl" "$tmp/$f.notier.jsonl"; then
+    echo "  ok: $s (--no-tier = golden)"
+  else
+    echo "  TIERING CHANGED THE OBSERVABLE TRACE: $s" >&2
+    diff "test/golden/$f.jsonl" "$tmp/$f.notier.jsonl" | head -10 >&2 || true
+    status=1
+  fi
+done
+dune exec bin/hth_run.exe -- batch --jobs 2 --tier-threshold 1 \
+  --trace-dir "$tmp/tier_on" > "$tmp/tier_on.out"
+dune exec bin/hth_run.exe -- batch --jobs 2 --no-tier \
+  --trace-dir "$tmp/tier_off" > "$tmp/tier_off.out"
+if cmp -s "$tmp/tier_on.out" "$tmp/tier_off.out" \
+   && diff -r "$tmp/tier_on" "$tmp/tier_off" >/dev/null; then
+  echo "  ok: --tier-threshold 1 fleet sweep byte-identical to --no-tier"
+else
+  echo "  TIERING DIVERGED UNDER THE FLEET" >&2
+  diff "$tmp/tier_on.out" "$tmp/tier_off.out" | head -10 >&2 || true
+  diff -r "$tmp/tier_on" "$tmp/tier_off" | head -10 >&2 || true
+  status=1
+fi
+
 echo "== hth_serve smoke =="
 # A mixed request script (native, clips, faulted, malformed) served on
 # two workers: responses must come back in input order and be

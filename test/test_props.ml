@@ -563,6 +563,150 @@ let prop_obs_counters_ground_truth =
       && stat "secpert.warnings" = List.length r.warnings)
 
 (* ------------------------------------------------------------------ *)
+(* Tier equivalence: compiled blocks with fused taint summaries vs
+   pure interpretation.  A random straight-line body runs in a counted
+   loop hot enough to promote at threshold 1, with tainted stdin read
+   into the data region before the loop and written out after it.  The
+   generator deliberately includes blocks the tier must reject or
+   window (pop-to-memory, bodies longer than the compile window), so
+   the deopt paths are exercised too.  The whole observable surface —
+   trace bytes, events, counters, verdict, tick count — must be
+   identical with tiering on and off.                                   *)
+
+let tier_reg =
+  Gen.oneofl [ Isa.Reg.EAX; Isa.Reg.EBX; Isa.Reg.ECX; Isa.Reg.EDX ]
+
+(* word-aligned slots inside the 16-byte tainted read buffer plus a
+   little untainted tail *)
+let tier_slot = Gen.map (fun k -> 0x4000 + (4 * k)) (Gen.int_bound 7)
+
+let tier_body_gen : Isa.Insn.t Gen.t =
+  let open Gen in
+  let reg = map (fun r -> Isa.Operand.Reg r) tier_reg in
+  let imm = map (fun k -> Isa.Operand.Imm k) (int_bound 0xFFFF) in
+  let mem = map (fun d -> Isa.Operand.mem d) tier_slot in
+  let alu =
+    map3
+      (fun op d s : Isa.Insn.t ->
+        match op with
+        | Radd -> Add (d, s)
+        | Rsub -> Sub (d, s)
+        | Rxor -> Xor (d, s)
+        | Rand -> And (d, s)
+        | Ror -> Or (d, s)
+        | Rmul -> Mul (d, s))
+      rop_gen reg (oneof [ reg; imm ])
+  in
+  frequency
+    [ 4, alu;
+      2, map2 (fun d s -> Isa.Insn.Mov (W, d, s)) reg (oneof [ reg; imm ]);
+      2, map2 (fun r m -> Isa.Insn.Mov (W, r, m)) reg mem;
+      2, map2 (fun m r -> Isa.Insn.Mov (W, m, r)) mem reg;
+      1, map2 (fun r m -> Isa.Insn.Mov (B, r, m)) reg mem;
+      1, map2 (fun m r -> Isa.Insn.Mov (B, m, r)) mem reg;
+      1,
+      map3
+        (fun r b d ->
+          Isa.Insn.Lea
+            (r, { Isa.Operand.base = Some b; index = None; scale = 1;
+                  disp = d }))
+        tier_reg tier_reg (int_bound 64);
+      1,
+      map2
+        (fun r k -> Isa.Insn.Cmp (W, Isa.Operand.Reg r, Isa.Operand.Imm k))
+        tier_reg (int_bound 255);
+      1,
+      map2
+        (fun a b -> Isa.Insn.Test (Isa.Operand.Reg a, Isa.Operand.Reg b))
+        tier_reg tier_reg;
+      1, map (fun r -> Isa.Insn.Inc (Isa.Operand.Reg r)) tier_reg;
+      1, map (fun r -> Isa.Insn.Dec (Isa.Operand.Reg r)) tier_reg;
+      1, map (fun r -> Isa.Insn.Push (Isa.Operand.Reg r)) tier_reg;
+      1, map (fun r -> Isa.Insn.Pop (Isa.Operand.Reg r)) tier_reg;
+      1, map (fun m -> Isa.Insn.Pop m) mem;
+      1, return Isa.Insn.Cpuid;
+      1, return Isa.Insn.Nop ]
+
+(* read(stdin, 0x4000, 16); loop iters times over the body; write the
+   buffer to stdout; halt.  One address per instruction, so the loop
+   head is base + 6. *)
+let tier_program iters body : Isa.Insn.t list =
+  let loop_head = 0x1000 + 6 in
+  [ Isa.Insn.Mov (W, Reg EAX, Imm 3) (* SYS_read *);
+    Mov (W, Reg EBX, Imm 0);
+    Mov (W, Reg ECX, Imm 0x4000);
+    Mov (W, Reg EDX, Imm 16);
+    Int 0x80;
+    Mov (W, Reg ESI, Imm iters) ]
+  @ body
+  @ [ Isa.Insn.Dec (Reg ESI);
+      Jcc (NZ, Imm loop_head);
+      Mov (W, Reg EAX, Imm 4) (* SYS_write *);
+      Mov (W, Reg EBX, Imm 1);
+      Mov (W, Reg ECX, Imm 0x4000);
+      Mov (W, Reg EDX, Imm 16);
+      Int 0x80;
+      Hlt ]
+
+let tier_session ~tier insns =
+  let img =
+    Binary.Image.make ~path:"/p" ~kind:Binary.Image.Executable ~base:0x1000
+      ~text:(Array.of_list insns) ~sections:[] ~exports:[] ~relocs:[]
+      ~needed:[] ~entry:0x1000
+  in
+  let monitor_config =
+    if tier then
+      { Harrier.Monitor.default_config with tier = true; tier_threshold = 1 }
+    else { Harrier.Monitor.default_config with tier = false }
+  in
+  let buf = Buffer.create 4096 in
+  Obs.Trace.to_buffer buf;
+  let outcome =
+    Fun.protect
+      ~finally:Obs.Trace.disable
+      (fun () ->
+        Hth.Session.run_outcome ~monitor_config
+          (Hth.Session.setup ~programs:[ img ]
+             ~user_input:[ "ABCDEFGHIJKLMNOP" ] ~main:"/p" ()))
+  in
+  Buffer.contents buf, outcome
+
+let prop_tier_equivalence =
+  Test.make
+    ~name:"tiered execution is observationally identical to interpretation"
+    ~count:40
+    (make
+       ~print:(fun (iters, body) ->
+         Printf.sprintf "iters=%d body=[%s]" iters
+           (String.concat "; " (List.map Isa.Insn.to_string body)))
+       Gen.(pair (int_range 1 8) (list_size (int_bound 24) tier_body_gen)))
+    (fun (iters, body) ->
+      let insns = tier_program iters body in
+      let trace_on, on = tier_session ~tier:true insns in
+      let trace_off, off = tier_session ~tier:false insns in
+      trace_on = trace_off
+      &&
+      match on, off with
+      | Ok a, Ok b ->
+        (* with threshold 1 the loop head is promoted on first entry,
+           so the tiered run really did compile or reject something *)
+        a.Hth.Session.tier.tc_compiled + a.Hth.Session.tier.tc_deopt > 0
+        && b.Hth.Session.tier.tc_compiled = 0
+        && a.stats = b.stats
+        && Hth.Report.equal_verdict (Hth.Report.verdict a)
+             (Hth.Report.verdict b)
+        && a.event_count = b.event_count
+        && a.os_report.rep_ticks = b.os_report.rep_ticks
+        && List.length a.events = List.length b.events
+        && List.for_all2
+             (fun x y ->
+               Fmt.to_to_string Harrier.Events.pp x
+               = Fmt.to_to_string Harrier.Events.pp y)
+             a.events b.events
+      | Error a, Error b -> Hth.Error.to_string a = Hth.Error.to_string b
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
 (* Trace round trip for random events                                   *)
 
 let resource_gen =
@@ -642,7 +786,8 @@ let props =
     prop_string_roundtrip; prop_machine_matches_reference;
     prop_fs_roundtrip; prop_shadow_range_union; prop_engine_refraction;
     prop_secure_no_data; prop_trace_roundtrip;
-    prop_dataflow_matches_reference; prop_obs_counters_ground_truth ]
+    prop_dataflow_matches_reference; prop_obs_counters_ground_truth;
+    prop_tier_equivalence ]
 
 (* ------------------------------------------------------------------ *)
 (* Reproducible randomness.  QCHECK_SEED=<int> pins the generator seed;

@@ -312,6 +312,95 @@ let default_budget_case =
           (field l "degraded" = Some (Forensics.Jsonl.Bool false))
       | _ -> Alcotest.fail "expected one response")
 
+(* ------------------------------------------------------------------ *)
+(* store_query: the fleet-forensics surface served over the protocol   *)
+
+let check_int_at_least line k floor =
+  match field line k with
+  | Some (Forensics.Jsonl.Int n) ->
+    Alcotest.(check bool) (Printf.sprintf "%s >= %d" k floor) true (n >= floor)
+  | _ -> Alcotest.failf "missing int field %S in %s" k line
+
+let store_query_case =
+  Alcotest.test_case "store_query answers fleet queries over the warehouse"
+    `Quick (fun () ->
+      (* without a warehouse the op answers, but flags itself off *)
+      let svc = Fleet.Serve.create ~jobs:1 ~deadline:60. ~resolver () in
+      let _, out = run_script svc [ {|{"op":"store_query","id":"q"}|} ] in
+      Fleet.Serve.shutdown svc;
+      (match out with
+       | [ l ] ->
+         check_str l "status" "store_query";
+         Alcotest.(check bool) "disabled without a warehouse" true
+           (field l "enabled" = Some (Forensics.Jsonl.Bool false))
+       | _ -> Alcotest.fail "expected one response");
+      (* populate a store through the service, then query it.  The
+         queries go on a second connection: serve_connection returning
+         means every admitted run is already appended (durable before
+         visible), so the second connection's answers are
+         deterministic. *)
+      let dir =
+        let d =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "hth-serve-squery-%d" (Unix.getpid ()))
+        in
+        if Sys.file_exists d then
+          ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote d)));
+        d
+      in
+      let wh =
+        match Store.Warehouse.open_ dir with
+        | Ok wh -> wh
+        | Error e -> Alcotest.failf "open_ %s: %s" dir (Hth.Error.to_string e)
+      in
+      let svc = Fleet.Serve.create ~jobs:2 ~deadline:60. ~store:wh ~resolver () in
+      let _, runs =
+        run_script svc
+          [ {|{"scenario":"pma","id":"r0"}|};
+            {|{"scenario":"grabem","id":"r1"}|} ]
+      in
+      List.iter (fun l -> check_str l "status" "ok") runs;
+      let n, out =
+        run_script svc
+          [ {|{"op":"store_query","id":"q0"}|};
+            {|{"op":"store_query","kind":"profile","limit":3,"id":"q1"}|};
+            {|{"op":"store_query","kind":"diff","run":"pma@0","id":"q2"}|};
+            {|{"op":"store_query","kind":"diff","id":"q3"}|};
+            {|{"op":"store_query","kind":"bogus","id":"q4"}|};
+            {|{"op":"store_query","scenario":"pma","id":"q5"}|} ]
+      in
+      Fleet.Serve.shutdown svc;
+      Store.Warehouse.close wh;
+      Alcotest.(check int) "all six answered" 6 n;
+      match out with
+      | [ q0; q1; q2; q3; q4; q5 ] ->
+        check_str q0 "status" "store_query";
+        check_str q0 "kind" "query";
+        (match field q0 "runs" with
+         | Some (Forensics.Jsonl.Int n) ->
+           Alcotest.(check int) "unfiltered query sees both runs" 2 n
+         | _ -> Alcotest.fail "q0 lacks runs");
+        check_str q1 "kind" "profile";
+        check_int_at_least q1 "blocks" 1;
+        (match field q1 "profile" with
+         | Some (Forensics.Jsonl.Str s) ->
+           Alcotest.(check bool) "profile respects the row limit" true
+             (List.length (String.split_on_char '\n' s) <= 3)
+         | _ -> Alcotest.fail "q1 lacks profile rows");
+        check_str q2 "kind" "diff";
+        check_int_at_least q2 "compared" 1;
+        check_str q3 "status" "bad_request";
+        check_str q4 "status" "bad_request";
+        check_str q5 "kind" "query";
+        (match field q5 "hits" with
+         | Some (Forensics.Jsonl.Str s) ->
+           Alcotest.(check bool) "scenario filter names the pma run" true
+             (Astring.String.is_infix ~affix:"pma@0" s)
+         | _ -> Alcotest.fail "q5 lacks hits")
+      | _ -> Alcotest.fail "expected six responses")
+
 let suite =
   [ watchdog_case; overload_case; closed_case; disconnect_case;
-    concurrent_identity_case; drain_case; default_budget_case ]
+    concurrent_identity_case; drain_case; default_budget_case;
+    store_query_case ]
